@@ -1,0 +1,29 @@
+"""E6 + E13 — Theorem 4 / Corollary 4 / Remark 1 approximations.
+
+Sweeps live in repro.experiments.approx_exp; checks asserted here."""
+
+from repro import experiments
+
+from .conftest import once, publish_table
+
+
+def test_e6(benchmark):
+    result = experiments.run("e6", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e6", "quick")
+
+
+def test_e6b(benchmark):
+    result = experiments.run("e6b", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e6b", "quick")
+
+
+def test_e13(benchmark):
+    result = experiments.run("e13", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e13", "quick")
+

@@ -1,0 +1,25 @@
+"""E1 + E16 — Theorem 1: APSP in Θ(n) rounds, congestion-free (Lemma 1).
+
+See repro.experiments.apsp_exp for the sweep definitions; this module
+asserts the experiment's checks at paper scale and publishes the table.
+The pytest-benchmark timing row runs the quick-scale sweep (it times
+the simulator, not the algorithm — rounds are the scientific metric)."""
+
+from repro import experiments
+
+from .conftest import once, publish_table
+
+
+def test_e1(benchmark):
+    result = experiments.run("e1", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e1", "quick")
+
+
+def test_e16(benchmark):
+    result = experiments.run("e16", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e16", "quick")
+

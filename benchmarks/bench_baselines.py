@@ -1,0 +1,22 @@
+"""E11 — Section 3.1: Algorithm 1 vs the classic routing strawmen.
+
+Sweeps live in repro.experiments.baselines_exp; checks asserted here."""
+
+from repro import experiments
+
+from .conftest import once, publish_table
+
+
+def test_e11a(benchmark):
+    result = experiments.run("e11a", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e11a", "quick")
+
+
+def test_e11b(benchmark):
+    result = experiments.run("e11b", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e11b", "quick")
+

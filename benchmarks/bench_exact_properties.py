@@ -1,0 +1,22 @@
+"""E3 + E4 — Lemmas 2–6: exact properties in Θ(n), O(D) aggregation.
+
+Sweeps live in repro.experiments.properties_exp; checks asserted here."""
+
+from repro import experiments
+
+from .conftest import once, publish_table
+
+
+def test_e3(benchmark):
+    result = experiments.run("e3", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e3", "quick")
+
+
+def test_e4(benchmark):
+    result = experiments.run("e4", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e4", "quick")
+

@@ -1,0 +1,22 @@
+"""E5 + E7 — girth: exact (Lemma 7) and (×,1+ε) (Theorem 5).
+
+Sweeps live in repro.experiments.girth_exp; checks asserted here."""
+
+from repro import experiments
+
+from .conftest import once, publish_table
+
+
+def test_e5(benchmark):
+    result = experiments.run("e5", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e5", "quick")
+
+
+def test_e7(benchmark):
+    result = experiments.run("e7", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e7", "quick")
+

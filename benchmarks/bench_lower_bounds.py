@@ -1,0 +1,29 @@
+"""E9 + E10 — the lower-bound demonstrations (Theorems 2, 6, 8).
+
+Constructions and audits live in repro.experiments.lower_bounds_exp."""
+
+from repro import experiments
+
+from .conftest import once, publish_table
+
+
+def test_e9a(benchmark):
+    result = experiments.run("e9a", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e9a", "quick")
+
+
+def test_e9b(benchmark):
+    result = experiments.run("e9b", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e9b", "quick")
+
+
+def test_e10(benchmark):
+    result = experiments.run("e10", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e10", "quick")
+

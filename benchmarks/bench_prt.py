@@ -1,0 +1,22 @@
+"""E14 + E15 — Corollaries 1–2: the Section 3.6 combinations.
+
+Sweeps live in repro.experiments.prt_exp; checks asserted here."""
+
+from repro import experiments
+
+from .conftest import once, publish_table
+
+
+def test_e14(benchmark):
+    result = experiments.run("e14", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e14", "quick")
+
+
+def test_e15(benchmark):
+    result = experiments.run("e15", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e15", "quick")
+

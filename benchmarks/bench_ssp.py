@@ -1,0 +1,22 @@
+"""E2 + E12 — Theorem 3: S-SP in O(|S| + D) rounds, and its bit cost.
+
+Sweeps live in repro.experiments.ssp_exp; checks asserted here."""
+
+from repro import experiments
+
+from .conftest import once, publish_table
+
+
+def test_e2(benchmark):
+    result = experiments.run("e2", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e2", "quick")
+
+
+def test_e12(benchmark):
+    result = experiments.run("e12", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e12", "quick")
+

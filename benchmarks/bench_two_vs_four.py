@@ -1,0 +1,15 @@
+"""E8 — Theorem 7: distinguishing diameter 2 from 4 in Õ(√n).
+
+Sweeps live in repro.experiments.two_vs_four_exp; checks asserted here."""
+
+from repro import experiments
+
+from .conftest import once, publish_table
+
+
+def test_e8(benchmark):
+    result = experiments.run("e8", scale="paper")
+    publish_table(result.exp_id, result.render())
+    assert result.passed, result.failed_checks()
+    once(benchmark, experiments.run, "e8", "quick")
+

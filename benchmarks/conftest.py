@@ -1,0 +1,42 @@
+"""Benchmark-suite plumbing.
+
+The scientific content of each benchmark lives in
+:mod:`repro.experiments`; this conftest only handles presentation —
+collecting rendered tables so they survive pytest's output capturing
+(printed in the terminal summary) and writing them to
+``benchmarks/results/`` — plus a helper to attach a single-shot
+pytest-benchmark timing to an experiment run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_TABLES: "List[str]" = []
+
+
+def publish_table(name: str, text: str) -> None:
+    """Register a rendered table for terminal summary + file output."""
+    _TABLES.append(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every published table after the test results."""
+    if not _TABLES:
+        return
+    terminalreporter.section("Table 1 reproduction — measured round counts")
+    for text in _TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Girth computation: exact (Lemma 7) vs (×,1+ε) (Theorem 5).
+
+Shows the three behaviours of the approximation: certifying a large
+girth quickly via shrinking k-dominating sets, falling back to the
+exact path when the girth is tiny, and reporting ∞ on forests.
+
+Run:  python examples/girth_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import core, graphs
+
+
+def zoo():
+    yield "big cycle (g=64)", graphs.cycle_graph(64)
+    yield "torus 4x16 (g=4)", graphs.torus_graph(4, 16)
+    yield "lollipop (g=3)", graphs.lollipop_graph(5, 30)
+    yield "random tree (g=inf)", graphs.random_tree(50, seed=3)
+
+
+def main() -> None:
+    print(f"{'instance':<22}{'girth':>7}{'exact rds':>11}"
+          f"{'approx est':>12}{'approx rds':>12}{'phases':>8}")
+    print("-" * 72)
+    for name, graph in zoo():
+        true_girth = graphs.girth(graph)
+        exact = core.run_exact_girth(graph)
+        assert exact.girth == true_girth
+        approx = core.run_approx_girth(graph, epsilon=0.5)
+        phases = next(iter(approx.results.values())).phases
+        print(f"{name:<22}{str(true_girth):>7}{exact.rounds:>11}"
+              f"{str(approx.girth):>12}{approx.rounds:>12}{phases:>8}")
+    print("\nthe estimate is always within (1+eps); on the big cycle "
+          "the approximation\ncertifies after a couple of cheap "
+          "phases, on the triangle it takes the\nexact min{., n} "
+          "branch, and forests correctly report infinity.")
+
+
+if __name__ == "__main__":
+    main()

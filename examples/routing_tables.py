@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: building routing tables.
+
+Section 1 frames APSP as the common core of link-state (OSPF/IS-IS)
+and distance-vector (RIP/BGP) routing.  This example builds complete
+shortest-path routing tables for an ISP-like topology four ways —
+Algorithm 1, sequential BFS, periodic distance-vector and link-state
+flooding, all under the same B-bit-per-link budget — and compares
+rounds and bits.
+
+Run:  python examples/routing_tables.py
+"""
+
+from __future__ import annotations
+
+from repro import core, graphs
+
+
+def build_topology() -> graphs.Graph:
+    """A backbone-and-stubs network: two dense POPs joined by a long
+    haul, with access trees hanging off them."""
+    return graphs.dumbbell_with_path(12, 10)
+
+
+def main() -> None:
+    graph = build_topology()
+    print(f"topology: {graph.n} routers, {graph.m} links, "
+          f"diameter {graphs.diameter(graph)}")
+
+    print(f"\n{'protocol':<22}{'rounds':>8}{'total bits':>14}")
+    print("-" * 44)
+
+    ours = core.run_apsp(graph)
+    print(f"{'Algorithm 1 (paper)':<22}{ours.rounds:>8}"
+          f"{ours.metrics.bits_total:>14}")
+
+    for name in ("sequential-bfs", "distance-vector",
+                 "distance-vector-delta", "link-state"):
+        summary = core.run_baseline_apsp(graph, name)
+        print(f"{name:<22}{summary.rounds:>8}"
+              f"{summary.metrics.bits_total:>14}")
+
+    # All four produce identical tables; print one router's table.
+    router = graph.n // 2
+    table = ours.results[router]
+    print(f"\nrouting table of router {router} (first 10 destinations):")
+    print(f"{'dest':>6}{'next hop':>10}{'hops':>6}")
+    for dest in sorted(table.distances)[:10]:
+        if dest == router:
+            continue
+        print(f"{dest:>6}{table.next_hop(dest):>10}"
+              f"{table.distances[dest]:>6}")
+
+    print("\ntakeaway: under B-bit links the classic protocols pay "
+          "superlinear rounds;\nthe pebble-scheduled APSP stays O(n) "
+          "(and every table is identical).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Center and peripheral detection on a synthetic social network.
+
+Section 3.5's motivation: centers of social graphs are the celebrities
+(useful for PageRank-style analyses) while spam detectors look at the
+peripheral vertices.  We synthesize a celebrity-core / fan / spam-chain
+topology and compare three ways to find both sets:
+
+* the exact O(n) algorithm (Lemmas 5–6);
+* the (×,1+ε) approximation in O(n/D + D) (Corollary 4);
+* Remark 2's 0-round answer (everything), as the trivial baseline.
+
+Run:  python examples/social_network_center.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import core, graphs
+
+
+def build_social_graph(seed: int = 7) -> graphs.Graph:
+    """Celebrity clique + fan clusters + a dangling spam chain."""
+    rng = random.Random(seed)
+    edges = []
+    celebrities = list(range(1, 7))                    # dense core
+    for i in celebrities:
+        for j in celebrities:
+            if i < j:
+                edges.append((i, j))
+    next_id = 7
+    fans = []
+    for celebrity in celebrities:                      # fan clusters
+        for _ in range(6):
+            edges.append((celebrity, next_id))
+            fans.append(next_id)
+            next_id += 1
+    for fan in fans:                                   # casual friendships
+        other = rng.choice(fans)
+        if other != fan and (min(fan, other), max(fan, other)) not in {
+            (min(a, b), max(a, b)) for a, b in edges
+        }:
+            edges.append((fan, other))
+    spam_anchor = celebrities[0]                       # spam chain
+    for _ in range(3):                                 # (bots chase reach)
+        edges.append((spam_anchor, next_id))
+        spam_anchor = next_id
+        next_id += 1
+    return graphs.Graph(range(1, next_id), edges)
+
+
+def main() -> None:
+    graph = build_social_graph()
+    print(f"social graph: {graph.n} accounts, {graph.m} ties, "
+          f"diameter {graphs.diameter(graph)}")
+
+    exact = core.run_graph_properties(graph, include_girth=False)
+    print(f"\nexact (Lemmas 5-6), {exact.rounds} rounds:")
+    print(f"  celebrities (center): {sorted(exact.center())}")
+    print(f"  spam frontier (peripheral): {sorted(exact.peripheral())}")
+
+    approx = core.run_approx_properties(graph, epsilon=0.5)
+    print(f"\n(x,1.5)-approx (Cor 4), {approx.rounds} rounds:")
+    print(f"  center candidates: {sorted(approx.center_approx())}")
+    print(f"  peripheral candidates: "
+          f"{sorted(approx.peripheral_approx())}")
+    assert exact.center() <= approx.center_approx()
+    assert exact.peripheral() <= approx.peripheral_approx()
+
+    trivial = core.remark2_center_peripheral(graph)
+    print(f"\nRemark 2 (0 rounds): {len(trivial)} candidates "
+          "(everyone) — factor-2 correct but useless in practice")
+
+    print("\ntakeaway: the approximation never misses a true "
+          "center/peripheral account and shrinks the candidate set "
+          "dramatically versus the free answer.")
+
+
+if __name__ == "__main__":
+    main()

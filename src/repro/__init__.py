@@ -1,0 +1,27 @@
+"""repro — a reproduction of *Optimal Distributed All Pairs Shortest
+Paths and Applications* (Holzer & Wattenhofer, PODC 2012).
+
+The package has three layers:
+
+* :mod:`repro.congest` — a synchronous CONGEST-model network simulator
+  with strict per-edge bandwidth accounting (the paper's model).
+* :mod:`repro.graphs` — graph types, a topology zoo, sequential
+  oracles, and the paper's lower-bound gadget families.
+* :mod:`repro.core` — the paper's algorithms: APSP (Algorithm 1), S-SP
+  (Algorithm 2), all Lemma 2-7 graph properties, the Theorem 4/5
+  approximations, the 2-vs-4 test (Algorithm 3), and baselines.
+
+Quickstart::
+
+    from repro import graphs, core
+
+    g = graphs.torus_graph(6, 6)
+    apsp = core.run_apsp(g)
+    print(apsp.diameter(), apsp.rounds)   # exact diameter, O(n) rounds
+"""
+
+from . import congest, core, graphs
+
+__version__ = "1.0.0"
+
+__all__ = ["congest", "core", "graphs", "__version__"]

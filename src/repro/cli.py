@@ -1,0 +1,314 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Runs the paper's algorithms on generated or file-loaded topologies and
+prints the distributed results plus the round/message/bit costs.  The
+graph argument uses a compact spec syntax::
+
+    path:40              a 40-node path
+    cycle:24             a 24-node cycle
+    grid:5x8             a 5x8 grid
+    torus:4x25           a 4x25 torus
+    star:30              a star
+    complete:12          a clique
+    tree:50:seed=3       a random tree
+    er:60:p=0.1:seed=7   a connected Erdős–Rényi graph
+    dumbbell:20:10       two 20-cliques joined by a 10-edge path
+    file:PATH            an edge-list file (repro.graphs.io format)
+
+Examples::
+
+    python -m repro apsp torus:6x6
+    python -m repro ssp er:40:p=0.15 --sources 1,5,9
+    python -m repro properties grid:5x8
+    python -m repro girth cycle:48 --epsilon 0.5
+    python -m repro two-vs-four --family diameter2 --n 80
+    python -m repro baseline path:32 --algorithm distance-vector
+    python -m repro leader er:30:p=0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import core, graphs
+from .graphs import io as graph_io
+
+
+def parse_graph(spec: str) -> graphs.Graph:
+    """Turn a compact graph spec (see module docstring) into a Graph."""
+    parts = spec.split(":")
+    family = parts[0]
+    args = parts[1:]
+    options = {}
+    positional: List[str] = []
+    for arg in args:
+        if "=" in arg:
+            key, value = arg.split("=", 1)
+            options[key] = value
+        else:
+            positional.append(arg)
+
+    def dims(text: str):
+        rows, _, cols = text.partition("x")
+        return int(rows), int(cols)
+
+    if family == "path":
+        return graphs.path_graph(int(positional[0]))
+    if family == "cycle":
+        return graphs.cycle_graph(int(positional[0]))
+    if family == "star":
+        return graphs.star_graph(int(positional[0]))
+    if family == "complete":
+        return graphs.complete_graph(int(positional[0]))
+    if family == "grid":
+        return graphs.grid_graph(*dims(positional[0]))
+    if family == "torus":
+        return graphs.torus_graph(*dims(positional[0]))
+    if family == "tree":
+        return graphs.random_tree(
+            int(positional[0]), seed=int(options.get("seed", 0))
+        )
+    if family == "er":
+        return graphs.erdos_renyi_graph(
+            int(positional[0]),
+            float(options.get("p", 0.1)),
+            seed=int(options.get("seed", 0)),
+            ensure_connected=True,
+        )
+    if family == "dumbbell":
+        return graphs.dumbbell_with_path(int(positional[0]),
+                                         int(positional[1]))
+    if family == "file":
+        return graph_io.load(positional[0])
+    raise SystemExit(f"unknown graph family {family!r} in spec {spec!r}")
+
+
+def _print_cost(metrics) -> None:
+    print(f"rounds:   {metrics.rounds}")
+    print(f"messages: {metrics.messages_total}")
+    print(f"bits:     {metrics.bits_total}")
+
+
+def cmd_apsp(args: argparse.Namespace) -> None:
+    """``repro apsp``: Algorithm 1 end to end."""
+    graph = parse_graph(args.graph)
+    summary = core.run_apsp(graph, seed=args.seed)
+    print(f"APSP on {graph!r}")
+    _print_cost(summary.metrics)
+    print(f"diameter: {summary.diameter()}   radius: {summary.radius()}")
+    if args.show_row is not None:
+        row = summary.results[args.show_row].distances
+        print(f"distances from node {args.show_row}: "
+              f"{dict(sorted(row.items()))}")
+
+
+def cmd_ssp(args: argparse.Namespace) -> None:
+    """``repro ssp``: Algorithm 2 for a given source set."""
+    graph = parse_graph(args.graph)
+    sources = [int(s) for s in args.sources.split(",") if s]
+    summary = core.run_ssp(graph, sources, seed=args.seed)
+    print(f"S-SP on {graph!r} with S = {sorted(summary.sources)}")
+    _print_cost(summary.metrics)
+    for node in list(graph.nodes)[: args.show_nodes]:
+        print(f"node {node}: "
+              f"{dict(sorted(summary.results[node].distances.items()))}")
+
+
+def cmd_properties(args: argparse.Namespace) -> None:
+    """``repro properties``: Lemmas 2-7 exact properties."""
+    graph = parse_graph(args.graph)
+    summary = core.run_graph_properties(graph, seed=args.seed)
+    print(f"graph properties of {graph!r} (Lemmas 2-7)")
+    _print_cost(summary.metrics)
+    print(f"diameter:   {summary.diameter}")
+    print(f"radius:     {summary.radius}")
+    print(f"girth:      {summary.girth}")
+    print(f"center:     {sorted(summary.center())}")
+    print(f"peripheral: {sorted(summary.peripheral())}")
+
+
+def cmd_approx(args: argparse.Namespace) -> None:
+    """``repro approx``: Theorem 4 / Corollary 4 approximations."""
+    graph = parse_graph(args.graph)
+    summary = core.run_approx_properties(graph, args.epsilon,
+                                         seed=args.seed)
+    print(f"(x,1+{args.epsilon}) approximation on {graph!r} "
+          f"(Theorem 4 / Corollary 4)")
+    _print_cost(summary.metrics)
+    print(f"diameter estimate: {summary.diameter_estimate}")
+    print(f"radius estimate:   {summary.radius_estimate}")
+    print(f"center candidates: {sorted(summary.center_approx())}")
+
+
+def cmd_girth(args: argparse.Namespace) -> None:
+    """``repro girth``: exact (Lemma 7) or approximate (Theorem 5)."""
+    graph = parse_graph(args.graph)
+    if args.epsilon is None:
+        summary = core.run_exact_girth(graph, seed=args.seed)
+        print(f"exact girth (Lemma 7) on {graph!r}")
+    else:
+        summary = core.run_approx_girth(graph, args.epsilon,
+                                        seed=args.seed)
+        print(f"(x,1+{args.epsilon}) girth (Theorem 5) on {graph!r}")
+    _print_cost(summary.metrics)
+    print(f"girth: {summary.girth}")
+
+
+def cmd_two_vs_four(args: argparse.Namespace) -> None:
+    """``repro two-vs-four``: Algorithm 3 on a promise instance."""
+    if args.graph:
+        graph = parse_graph(args.graph)
+    elif args.family == "diameter2":
+        graph = graphs.diameter_two_random(args.n, seed=args.seed)
+    else:
+        graph = graphs.diameter_four_blobs(args.n, seed=args.seed)
+    summary = core.run_two_vs_four(graph, seed=args.seed)
+    print(f"2-vs-4 (Algorithm 3 / Theorem 7) on {graph!r}")
+    _print_cost(summary.metrics)
+    print(f"verdict: diameter {summary.diameter} "
+          f"(branch: {summary.branch})")
+
+
+def cmd_baseline(args: argparse.Namespace) -> None:
+    """``repro baseline``: a Section 3.1 strawman vs Algorithm 1."""
+    graph = parse_graph(args.graph)
+    summary = core.run_baseline_apsp(graph, args.algorithm,
+                                     seed=args.seed)
+    print(f"baseline '{args.algorithm}' APSP on {graph!r} (Section 3.1)")
+    _print_cost(summary.metrics)
+    ours = core.run_apsp(graph, seed=args.seed)
+    print(f"Algorithm 1 on the same graph: {ours.rounds} rounds "
+          f"({summary.rounds / max(1, ours.rounds):.1f}x)")
+
+
+def cmd_experiment(args: argparse.Namespace) -> None:
+    """``repro experiment``: regenerate Table 1 entries on demand."""
+    from . import experiments
+
+    if args.id == "list":
+        for exp_id in experiments.available():
+            print(exp_id)
+        return
+    ids = (experiments.available() if args.id == "all"
+           else [args.id])
+    failures = []
+    collected = []
+    for exp_id in ids:
+        result = experiments.run(exp_id, scale=args.scale)
+        collected.append(result)
+        print(result.render())
+        print()
+        if not result.passed:
+            failures.append(exp_id)
+    if args.output:
+        experiments.write_report(collected, args.output)
+        print(f"report written to {args.output}")
+    if failures:
+        raise SystemExit(f"experiments failed checks: {failures}")
+
+
+def cmd_leader(args: argparse.Namespace) -> None:
+    """``repro leader``: min-id election."""
+    graph = parse_graph(args.graph)
+    results, metrics = core.run_leader_election(graph, seed=args.seed)
+    leader = next(iter(results.values())).leader
+    print(f"leader election on {graph!r}")
+    _print_cost(metrics)
+    print(f"leader: {leader}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Holzer-Wattenhofer PODC'12 reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("apsp", help="Algorithm 1: APSP in O(n)")
+    p.add_argument("graph")
+    p.add_argument("--show-row", type=int, default=None,
+                   help="print one node's distance row")
+    common(p)
+    p.set_defaults(func=cmd_apsp)
+
+    p = sub.add_parser("ssp", help="Algorithm 2: S-SP in O(|S|+D)")
+    p.add_argument("graph")
+    p.add_argument("--sources", required=True,
+                   help="comma-separated source ids")
+    p.add_argument("--show-nodes", type=int, default=3)
+    common(p)
+    p.set_defaults(func=cmd_ssp)
+
+    p = sub.add_parser("properties",
+                       help="Lemmas 2-7: all exact properties")
+    p.add_argument("graph")
+    common(p)
+    p.set_defaults(func=cmd_properties)
+
+    p = sub.add_parser("approx",
+                       help="Theorem 4 / Corollary 4: (x,1+eps)")
+    p.add_argument("graph")
+    p.add_argument("--epsilon", type=float, default=0.5)
+    common(p)
+    p.set_defaults(func=cmd_approx)
+
+    p = sub.add_parser("girth", help="Lemma 7 / Theorem 5")
+    p.add_argument("graph")
+    p.add_argument("--epsilon", type=float, default=None,
+                   help="approximate with this epsilon (omit for exact)")
+    common(p)
+    p.set_defaults(func=cmd_girth)
+
+    p = sub.add_parser("two-vs-four",
+                       help="Algorithm 3 / Theorem 7 (promise input)")
+    p.add_argument("--graph", default=None)
+    p.add_argument("--family", choices=["diameter2", "diameter4"],
+                   default="diameter2")
+    p.add_argument("--n", type=int, default=60)
+    common(p)
+    p.set_defaults(func=cmd_two_vs_four)
+
+    p = sub.add_parser("baseline",
+                       help="Section 3.1 strawmen APSP")
+    p.add_argument("graph")
+    p.add_argument("--algorithm", default="distance-vector",
+                   choices=["sequential-bfs", "distance-vector",
+                            "distance-vector-delta", "link-state"])
+    common(p)
+    p.set_defaults(func=cmd_baseline)
+
+    p = sub.add_parser("leader", help="min-id leader election in O(n)")
+    p.add_argument("graph")
+    common(p)
+    p.set_defaults(func=cmd_leader)
+
+    p = sub.add_parser(
+        "experiment",
+        help="regenerate a Table 1 experiment (see EXPERIMENTS.md)",
+    )
+    p.add_argument("id", help="experiment id, 'all', or 'list'")
+    p.add_argument("--scale", choices=["quick", "paper"],
+                   default="quick")
+    p.add_argument("--output", default=None,
+                   help="also write a markdown report to this path")
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""The CONGEST model simulator.
+
+This package is the substrate everything else in :mod:`repro` runs on: a
+deterministic, synchronous message-passing network with per-edge
+bandwidth ``B = O(log n)`` bits per round, exactly the model of Holzer &
+Wattenhofer (PODC 2012), Section 2.
+
+Public surface:
+
+* :class:`~repro.congest.network.Network` / :func:`~repro.congest.runner.run_algorithm`
+  — build and run a simulation.
+* :class:`~repro.congest.node.NodeAlgorithm` / :class:`~repro.congest.node.NodeContext`
+  — the per-node programming model.
+* :class:`~repro.congest.message.Message` and friends — bit-accounted messages.
+* :class:`~repro.congest.metrics.RunMetrics` — rounds / messages / bits.
+"""
+
+from .bandwidth import (
+    BandwidthPolicy,
+    SerializingPolicy,
+    StrictPolicy,
+    UnlimitedPolicy,
+    make_policy,
+)
+from .errors import (
+    BandwidthExceededError,
+    CongestError,
+    EncodingError,
+    GraphError,
+    ProtocolError,
+    RoundLimitExceededError,
+)
+from .mailbox import Inbox, Outbox
+from .message import (
+    INFINITY,
+    IdMessage,
+    Message,
+    SizeModel,
+    Token,
+    ValueMessage,
+    register_message,
+)
+from .metrics import RunMetrics
+from .network import Network, RunResult, default_bandwidth
+from .node import NodeAlgorithm, NodeContext
+from .runner import run_algorithm
+
+__all__ = [
+    "BandwidthExceededError",
+    "BandwidthPolicy",
+    "CongestError",
+    "EncodingError",
+    "GraphError",
+    "IdMessage",
+    "INFINITY",
+    "Inbox",
+    "Message",
+    "Network",
+    "NodeAlgorithm",
+    "NodeContext",
+    "Outbox",
+    "ProtocolError",
+    "RoundLimitExceededError",
+    "RunMetrics",
+    "RunResult",
+    "SerializingPolicy",
+    "SizeModel",
+    "StrictPolicy",
+    "Token",
+    "UnlimitedPolicy",
+    "ValueMessage",
+    "default_bandwidth",
+    "make_policy",
+    "register_message",
+    "run_algorithm",
+]

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the CONGEST simulator.
+
+Every error raised by :mod:`repro.congest` derives from :class:`CongestError`
+so callers can catch simulator problems without masking ordinary Python
+errors (``TypeError`` and friends still propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class CongestError(Exception):
+    """Base class for all simulator errors."""
+
+
+class GraphError(CongestError):
+    """The input graph violates a structural requirement.
+
+    Raised e.g. for self-loops, duplicate edges, non-positive node
+    identifiers, or when an algorithm requires a connected graph and the
+    input is not connected.
+    """
+
+
+class BandwidthExceededError(CongestError):
+    """A node tried to push more than ``B`` bits over one edge in one round.
+
+    Under the ``strict`` bandwidth policy this is a *bug in the algorithm*:
+    the CONGEST model forbids it, and every algorithm from the paper is
+    proven to stay within budget.  The error message names the offending
+    directed edge, the round, and the bit totals so the failure is
+    actionable.
+    """
+
+    def __init__(self, sender: int, receiver: int, round_no: int,
+                 used_bits: int, budget_bits: int) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.round_no = round_no
+        self.used_bits = used_bits
+        self.budget_bits = budget_bits
+        super().__init__(
+            f"edge {sender}->{receiver} carries {used_bits} bits in round "
+            f"{round_no}, exceeding the bandwidth budget of {budget_bits} bits"
+        )
+
+
+class RoundLimitExceededError(CongestError):
+    """The simulation passed ``max_rounds`` without every node halting.
+
+    This usually means a distributed algorithm deadlocked or its
+    termination bookkeeping is wrong; the limit exists so such bugs fail
+    fast instead of spinning forever.
+    """
+
+    def __init__(self, max_rounds: int, unfinished: int) -> None:
+        self.max_rounds = max_rounds
+        self.unfinished = unfinished
+        super().__init__(
+            f"{unfinished} node(s) still running after {max_rounds} rounds"
+        )
+
+
+class ProtocolError(CongestError):
+    """An algorithm misused the node API.
+
+    Examples: sending to a non-neighbor, sending after halting, or a node
+    program that never yields.
+    """
+
+
+class EncodingError(CongestError):
+    """A message could not be encoded into / decoded from its bit layout."""

@@ -1,0 +1,171 @@
+"""Messages with honest bit-level size accounting.
+
+The CONGEST model limits each node to ``B`` bits per incident edge per
+round, so the simulator must know exactly how large every message is.
+Rather than guessing, each :class:`Message` subclass declares its payload
+through *field specs* — ``(name, kind)`` pairs whose widths are resolved
+against a :class:`SizeModel` for the current network size ``n``.  The same
+specs drive the real binary encoder in :mod:`repro.congest.encoding`, so
+the sizes charged against the bandwidth budget are the sizes an actual
+wire format would use.
+
+Field kinds
+-----------
+
+``id``
+    A node identifier in ``1..n`` (``ceil(log2(n + 1))`` bits).
+``dist``
+    A hop distance in ``0..n`` or the sentinel :data:`INFINITY`
+    (``ceil(log2(n + 2))`` bits; the top code point encodes infinity).
+``count``
+    A non-negative counter bounded by ``n`` (same width as ``dist``).
+``round``
+    A round number; algorithms in this package finish within ``O(n)``
+    rounds, so four extra bits over ``dist`` (values up to ``16 (n + 2)``)
+    are always sufficient and stay ``O(log n)``.
+``flag``
+    A single bit (booleans).
+
+Every concrete message type also pays a fixed *tag* overhead that
+identifies its type on the wire; the tag width grows logarithmically with
+the number of registered message types.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import ClassVar, Dict, List, Tuple, Type
+
+from .errors import EncodingError
+
+#: Sentinel used by ``dist`` fields to mean "unreachable / unknown".
+INFINITY: int = -1
+
+_FIELD_KINDS = ("id", "dist", "count", "round", "flag")
+
+#: Registry of all concrete message types, in registration order.  The
+#: position of a type in this list is its wire tag.
+MESSAGE_REGISTRY: List[Type["Message"]] = []
+_REGISTRY_INDEX: Dict[Type["Message"], int] = {}
+
+
+def register_message(cls: Type["Message"]) -> Type["Message"]:
+    """Class decorator: validate field specs and assign a wire tag."""
+    for name, kind in cls.FIELDS:
+        if kind not in _FIELD_KINDS:
+            raise EncodingError(
+                f"{cls.__name__}.{name}: unknown field kind {kind!r}"
+            )
+    declared = tuple(f.name for f in dataclass_fields(cls))
+    spec_names = tuple(name for name, _ in cls.FIELDS)
+    if declared != spec_names:
+        raise EncodingError(
+            f"{cls.__name__}: dataclass fields {declared} do not match "
+            f"FIELDS spec {spec_names}"
+        )
+    _REGISTRY_INDEX[cls] = len(MESSAGE_REGISTRY)
+    MESSAGE_REGISTRY.append(cls)
+    return cls
+
+
+def message_tag(cls: Type["Message"]) -> int:
+    """Return the wire tag assigned to a registered message type."""
+    try:
+        return _REGISTRY_INDEX[cls]
+    except KeyError:
+        raise EncodingError(f"{cls.__name__} is not a registered message type")
+
+
+def tag_bits() -> int:
+    """Bits needed to distinguish all registered message types."""
+    return max(1, math.ceil(math.log2(max(2, len(MESSAGE_REGISTRY)))))
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Resolves field kinds to bit widths for a network of ``n`` nodes."""
+
+    n: int
+
+    @property
+    def id_bits(self) -> int:
+        """Width of a node identifier in ``1..n``."""
+        return max(1, math.ceil(math.log2(self.n + 1)))
+
+    @property
+    def dist_bits(self) -> int:
+        """Width of a distance in ``0..n`` plus an infinity code point."""
+        return max(1, math.ceil(math.log2(self.n + 2)))
+
+    def width_of(self, kind: str) -> int:
+        """Bit width of one field of the given kind."""
+        if kind == "id":
+            return self.id_bits
+        if kind == "dist" or kind == "count":
+            return self.dist_bits
+        if kind == "round":
+            return self.dist_bits + 4
+        if kind == "flag":
+            return 1
+        raise EncodingError(f"unknown field kind {kind!r}")
+
+    def size_bits(self, message: "Message") -> int:
+        """Total wire size of ``message``: tag plus all payload fields."""
+        payload = sum(self.width_of(kind) for _, kind in message.FIELDS)
+        return tag_bits() + payload
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for everything that travels over an edge.
+
+    Subclasses are frozen dataclasses whose attributes match their
+    ``FIELDS`` spec in order, and must be decorated with
+    :func:`register_message`.
+    """
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = ()
+
+    def size_bits(self, model: SizeModel) -> int:
+        """Wire size of this message under ``model``."""
+        return model.size_bits(self)
+
+    def field_values(self) -> Tuple[int, ...]:
+        """Payload values in FIELDS order (flags as 0/1 ints)."""
+        return tuple(
+            int(getattr(self, name)) for name, _ in self.FIELDS
+        )
+
+
+# ---------------------------------------------------------------------------
+# Generic messages shared by many protocols.
+# ---------------------------------------------------------------------------
+
+
+@register_message
+@dataclass(frozen=True)
+class Token(Message):
+    """A bare token message (e.g. a wake-up signal); payload-free."""
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = ()
+
+
+@register_message
+@dataclass(frozen=True)
+class IdMessage(Message):
+    """Carries a single node identifier."""
+
+    uid: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (("uid", "id"),)
+
+
+@register_message
+@dataclass(frozen=True)
+class ValueMessage(Message):
+    """Carries a single bounded counter value (e.g. an aggregate)."""
+
+    value: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (("value", "count"),)

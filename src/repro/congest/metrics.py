@@ -1,0 +1,73 @@
+"""Run metrics: the quantities the paper's Table 1 is about.
+
+The primary cost measure is the number of synchronous rounds; we also
+track message and bit totals (for the Elkin bit-complexity comparison in
+Section 3.2) and, optionally, per-edge cumulative bits so lower-bound
+experiments can audit how much information crossed a graph cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+DirectedEdge = Tuple[int, int]
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate statistics of one simulation run."""
+
+    rounds: int = 0
+    messages_total: int = 0
+    bits_total: int = 0
+    #: Largest number of bits any single directed edge carried in one round.
+    max_edge_bits_in_round: int = 0
+    #: Largest number of messages any single directed edge carried in one round.
+    max_edge_messages_in_round: int = 0
+    #: Messages delivered per round (index 0 = round 1).
+    messages_per_round: List[int] = field(default_factory=list)
+    #: Bits delivered per round (index 0 = round 1).
+    bits_per_round: List[int] = field(default_factory=list)
+    #: Cumulative bits per directed edge; populated only if edge tracking
+    #: was requested (it costs memory proportional to the edge count).
+    edge_bits: Optional[Dict[DirectedEdge, int]] = None
+
+    def record_round(
+        self,
+        deliveries: Iterable[Tuple[DirectedEdge, int, int]],
+    ) -> None:
+        """Record one round; ``deliveries`` yields ``(edge, msgs, bits)``."""
+        round_messages = 0
+        round_bits = 0
+        for edge, msg_count, bit_count in deliveries:
+            round_messages += msg_count
+            round_bits += bit_count
+            if bit_count > self.max_edge_bits_in_round:
+                self.max_edge_bits_in_round = bit_count
+            if msg_count > self.max_edge_messages_in_round:
+                self.max_edge_messages_in_round = msg_count
+            if self.edge_bits is not None:
+                self.edge_bits[edge] = self.edge_bits.get(edge, 0) + bit_count
+        self.rounds += 1
+        self.messages_total += round_messages
+        self.bits_total += round_bits
+        self.messages_per_round.append(round_messages)
+        self.bits_per_round.append(round_bits)
+
+    def bits_across_cut(self, side_a: FrozenSet[int]) -> int:
+        """Total bits that crossed the cut ``(side_a, V - side_a)``.
+
+        Requires edge tracking.  Used by the lower-bound experiments to
+        measure the information flow through the bit-gadget bottleneck.
+        """
+        if self.edge_bits is None:
+            raise ValueError(
+                "edge tracking was not enabled for this run; "
+                "pass track_edges=True to the network"
+            )
+        return sum(
+            bits
+            for (sender, receiver), bits in self.edge_bits.items()
+            if (sender in side_a) != (receiver in side_a)
+        )

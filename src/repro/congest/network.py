@@ -1,0 +1,241 @@
+"""The synchronous round scheduler.
+
+:class:`Network` drives one :class:`~repro.congest.node.NodeAlgorithm`
+per graph node in lockstep:
+
+1. **Round 0 (wake-up).**  Every node program runs until its first
+   ``yield``, staging messages for round 1.  No inbox is delivered.
+2. **Round r ≥ 1.**  All messages staged in round ``r - 1`` are policed
+   by the bandwidth policy and delivered simultaneously; every still-
+   running node program is resumed with its inbox and runs until its next
+   ``yield`` (staging messages for round ``r + 1``) or until it returns.
+3. The run ends when every node program has returned and no backlog
+   remains on any link.  A program's return value is the node's local
+   output.
+
+The scheduler is deterministic: nodes are processed in ascending id
+order, per-node randomness is seeded from ``(seed, uid)`` and public
+randomness from ``seed`` alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..graphs.graph import Graph
+from .bandwidth import BandwidthPolicy, make_policy
+from .errors import GraphError, ProtocolError, RoundLimitExceededError
+from .mailbox import Inbox
+from .message import Message, SizeModel
+from .metrics import RunMetrics
+from .node import NodeAlgorithm, NodeContext, NodeState
+
+#: Builds the per-node algorithm object from its context.
+AlgorithmFactory = Callable[[NodeContext], NodeAlgorithm]
+
+
+def default_bandwidth(n: int) -> int:
+    """The default per-edge budget ``B`` for an ``n``-node network.
+
+    The paper takes ``B = O(log n)`` — enough for "a constant number of
+    node or edge IDs per message".  We allocate six id-widths (at least
+    48 bits), which fits the largest bundle any of the paper's algorithms
+    ever places on one edge in one round (a BFS token plus a broadcast
+    payload), and nothing more.
+    """
+    model = SizeModel(n)
+    return max(48, 6 * model.id_bits)
+
+
+@dataclass
+class RunResult:
+    """Outcome of a completed simulation."""
+
+    #: Per-node return values of the node programs.
+    results: Dict[int, Any]
+    #: Round/message/bit statistics.
+    metrics: RunMetrics
+
+    @property
+    def rounds(self) -> int:
+        """Number of communication rounds used (the paper's cost measure)."""
+        return self.metrics.rounds
+
+
+class Network:
+    """A synchronous CONGEST network executing one algorithm.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology.
+    factory:
+        Called once per node with its :class:`NodeContext`; returns the
+        node's algorithm instance.
+    bandwidth_bits:
+        Per-edge per-round budget ``B``; default :func:`default_bandwidth`.
+    policy:
+        ``"strict"`` (default), ``"serialize"`` or ``"unlimited"``; see
+        :mod:`repro.congest.bandwidth`.
+    inputs:
+        Optional per-node problem input, exposed as ``ctx.input_value``.
+    seed:
+        Seed for private and public randomness.
+    max_rounds:
+        Safety limit; default ``20 * n + 1000`` which every algorithm in
+        this package stays well under.
+    track_edges:
+        Record cumulative per-edge bits (needed for cut audits).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        factory: AlgorithmFactory,
+        *,
+        bandwidth_bits: Optional[int] = None,
+        policy: str = "strict",
+        inputs: Optional[Mapping[int, Any]] = None,
+        seed: int = 0,
+        max_rounds: Optional[int] = None,
+        track_edges: bool = False,
+    ) -> None:
+        if graph.n == 0:
+            raise GraphError("cannot simulate an empty graph")
+        self.graph = graph
+        self.size_model = SizeModel(graph.n)
+        self.bandwidth_bits = (
+            default_bandwidth(graph.n) if bandwidth_bits is None else bandwidth_bits
+        )
+        self.policy: BandwidthPolicy = make_policy(
+            policy, self.bandwidth_bits, self.size_model
+        )
+        self.max_rounds = (
+            20 * graph.n + 1000 if max_rounds is None else max_rounds
+        )
+        self.metrics = RunMetrics(edge_bits={} if track_edges else None)
+        self.round_no = 0
+        inputs = inputs or {}
+
+        self._states: Dict[int, NodeState] = {}
+        for uid in graph.nodes:
+            ctx = NodeContext(
+                uid=uid,
+                neighbors=graph.neighbors(uid),
+                n=graph.n,
+                bandwidth_bits=self.bandwidth_bits,
+                size_model=self.size_model,
+                rng=random.Random(f"{seed}|node|{uid}"),
+                public_rng=random.Random(f"{seed}|public"),
+                input_value=inputs.get(uid),
+            )
+            self._states[uid] = NodeState(algorithm=factory(ctx))
+        self._started = False
+        #: messages staged for the next round, keyed by directed edge.
+        self._staged: Dict[Tuple[int, int], List[Message]] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _start(self) -> None:
+        """Round 0: run every program to its first yield."""
+        for uid in self.graph.nodes:
+            state = self._states[uid]
+            generator = state.algorithm.program()
+            state.generator = generator
+            try:
+                next(generator)
+            except StopIteration as stop:
+                self._halt(state, stop.value)
+            except TypeError:
+                raise ProtocolError(
+                    f"node {uid}: program() must return a generator "
+                    f"(write it with at least one 'yield')"
+                )
+            self._collect_outbox(uid, state)
+        self._started = True
+
+    def _halt(self, state: NodeState, result: Any) -> None:
+        state.halted = True
+        state.result = result
+        state.generator = None
+        state.algorithm._mark_halted()
+
+    def _collect_outbox(self, uid: int, state: NodeState) -> None:
+        outbox = state.algorithm._take_outbox()
+        for receiver, messages in outbox.items():
+            self._staged.setdefault((uid, receiver), []).extend(messages)
+
+    @property
+    def running(self) -> bool:
+        """Whether any node program is still live or backlog remains."""
+        if not self._started:
+            return True
+        if any(not state.halted for state in self._states.values()):
+            return True
+        return bool(self._staged) or self.policy.has_backlog
+
+    def step(self) -> bool:
+        """Execute one communication round; returns :attr:`running`."""
+        if not self._started:
+            self._start()
+            return self.running
+        if not self.running:
+            return False
+        if self.round_no >= self.max_rounds:
+            unfinished = sum(
+                1 for state in self._states.values() if not state.halted
+            )
+            raise RoundLimitExceededError(self.max_rounds, unfinished)
+        self.round_no += 1
+
+        # Police staged traffic and build inboxes.
+        staged, self._staged = self._staged, {}
+        deliveries: Dict[Tuple[int, int], List[Message]] = {}
+        for edge in sorted(staged):
+            admitted = self.policy.admit(edge, staged[edge], self.round_no)
+            if admitted:
+                deliveries[edge] = admitted
+        if self.policy.has_backlog:
+            serviced = frozenset(staged)
+            drained = self.policy.drain(self.round_no, exclude=serviced)
+            for edge, admitted in drained.items():
+                if edge in deliveries:
+                    deliveries[edge].extend(admitted)
+                elif admitted:
+                    deliveries[edge] = admitted
+
+        self.metrics.record_round(
+            (
+                edge,
+                len(messages),
+                sum(msg.size_bits(self.size_model) for msg in messages),
+            )
+            for edge, messages in sorted(deliveries.items())
+        )
+
+        inbox_map: Dict[int, Dict[int, Tuple[Message, ...]]] = {}
+        for (sender, receiver), messages in deliveries.items():
+            inbox_map.setdefault(receiver, {})[sender] = tuple(messages)
+
+        # Resume every live node program with its inbox.
+        for uid in self.graph.nodes:
+            state = self._states[uid]
+            if state.halted:
+                continue
+            inbox = Inbox(inbox_map.get(uid, {}))
+            state.algorithm.round = self.round_no
+            try:
+                state.generator.send(inbox)
+            except StopIteration as stop:
+                self._halt(state, stop.value)
+            self._collect_outbox(uid, state)
+        return self.running
+
+    def run(self) -> RunResult:
+        """Run to completion and return per-node results plus metrics."""
+        while self.step():
+            pass
+        results = {uid: state.result for uid, state in self._states.items()}
+        return RunResult(results=results, metrics=self.metrics)

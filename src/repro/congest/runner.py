@@ -1,0 +1,38 @@
+"""Convenience entry points for running one algorithm on one graph."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from ..graphs.graph import Graph
+from .network import AlgorithmFactory, Network, RunResult
+
+
+def run_algorithm(
+    graph: Graph,
+    factory: AlgorithmFactory,
+    *,
+    bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
+    inputs: Optional[Mapping[int, Any]] = None,
+    seed: int = 0,
+    max_rounds: Optional[int] = None,
+    track_edges: bool = False,
+) -> RunResult:
+    """Build a :class:`~repro.congest.network.Network` and run it to the end.
+
+    This is the one-call form used throughout examples, tests and
+    benchmarks; see :class:`~repro.congest.network.Network` for the
+    parameter semantics.
+    """
+    network = Network(
+        graph,
+        factory,
+        bandwidth_bits=bandwidth_bits,
+        policy=policy,
+        inputs=inputs,
+        seed=seed,
+        max_rounds=max_rounds,
+        track_edges=track_edges,
+    )
+    return network.run()

@@ -1,0 +1,263 @@
+"""Theorem 4 / Corollary 4: ``(×, 1+ε)``-approximations in ``O(n/D + D)``
+rounds, plus the ``(×, 2)`` quickies of Remarks 1 and 2.
+
+Theorem 4's algorithm:
+
+1. compute ``D0 = 2 · ecc(1)`` (a ``(×,2)`` diameter bound, Fact 1) —
+   free, it rides on the ``T_1`` echo;
+2. ``k = ⌊ε · D0 / 4⌋``; if ``k = 0`` the graph is too shallow for
+   sampling to help and we fall back to exact APSP (the ``O(n/D + D)``
+   bound is ``O(n)`` there anyway);
+3. compute a k-dominating set ``DOM`` with ``|DOM| ≤ 1 + ⌊n/(k+1)⌋``
+   (Lemma 10) and solve ``DOM``-SP with Algorithm 2 in
+   ``O(|DOM| + D) = O(n/(εD) + D)`` rounds;
+4. every node estimates ``ecc̃(v) = k + max_{u ∈ DOM} d(u, v)``.
+   Every node is within ``k`` of a dominator, so ``ecc̃(v) ≥ ecc(v)``;
+   and ``k ≤ ε·ecc(1)/2 ≤ ε·ecc(v)`` (Fact 1), so
+   ``ecc̃(v) ≤ (1 + ε)·ecc(v)``.
+
+Corollary 4 aggregates the estimates over ``T_1``: diameter = max,
+radius = min, and the center / peripheral sets become the local
+comparisons ``ecc̃(v) ≤ rad̃ + k`` / ``ecc̃(v) ≥ diam̃ - k``, which
+contain the true sets and only admit nodes within ``2k`` of optimal —
+the set-approximation semantics of Definition 5.
+
+Remark 1 (``(×,2)`` in ``O(D)``): one BFS with echo from node 1 gives
+``diam̃ = 2·ecc(1) ∈ [D, 2D]`` and ``rad̃ = ecc(1) ∈ [rad, 2·rad]``;
+the per-node estimate ``ecc̃(v) = d(v,1) + ecc(1)`` satisfies
+``ecc(v) ≤ ecc̃(v) ≤ 3·ecc(v)`` (the Remark's statement is informal;
+the guaranteed factor of this one-BFS estimator is 3 for eccentricities
+and 2 for diameter/radius — asserted in tests).
+
+Remark 2 (``(×,2)`` center/peripheral in 0 rounds): the answer "every
+node" is, by Fact 1, within the 2-approximation semantics — provided as
+:func:`remark2_center_peripheral` for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from ..congest.errors import GraphError
+from ..congest.metrics import RunMetrics
+from ..congest.network import Network
+from ..congest.node import NodeAlgorithm
+from ..graphs.graph import Graph
+from .apsp import ROOT, apsp_phase, validate_apsp_input
+from .dominating import compute_dominating_set
+from .ssp import ssp_main_loop
+from .subroutines import (
+    aggregate_and_share,
+    build_bfs_tree,
+    combine_max,
+    combine_min,
+)
+
+
+@dataclass(frozen=True)
+class ApproxPropertyResult:
+    """One node's output of the Theorem 4 / Corollary 4 computation."""
+
+    uid: int
+    ecc_estimate: int
+    diameter_estimate: int
+    radius_estimate: int
+    in_center_approx: bool
+    in_peripheral_approx: bool
+    #: The smoothing parameter actually used (0 = exact fallback ran).
+    k: int
+    dom_size: int
+
+
+@dataclass(frozen=True)
+class ApproxPropertySummary:
+    """All nodes' approximation results plus run metrics."""
+
+    epsilon: float
+    results: Mapping[int, ApproxPropertyResult]
+    metrics: RunMetrics
+
+    @property
+    def rounds(self) -> int:
+        """Number of communication rounds used."""
+        return self.metrics.rounds
+
+    @property
+    def diameter_estimate(self) -> int:
+        """The shared diameter estimate (Corollary 4)."""
+        return self._unanimous("diameter_estimate")
+
+    @property
+    def radius_estimate(self) -> int:
+        """The shared radius estimate (Corollary 4)."""
+        return self._unanimous("radius_estimate")
+
+    def ecc_estimates(self) -> Dict[int, int]:
+        """Per-node eccentricity estimates (Theorem 4)."""
+        return {u: r.ecc_estimate for u, r in self.results.items()}
+
+    def center_approx(self) -> FrozenSet[int]:
+        """The approximate center set (contains the true center)."""
+        return frozenset(
+            u for u, r in self.results.items() if r.in_center_approx
+        )
+
+    def peripheral_approx(self) -> FrozenSet[int]:
+        """The approximate peripheral set (contains the true set)."""
+        return frozenset(
+            u for u, r in self.results.items() if r.in_peripheral_approx
+        )
+
+    def _unanimous(self, attribute: str) -> int:
+        values = {getattr(r, attribute) for r in self.results.values()}
+        if len(values) != 1:
+            raise AssertionError(f"nodes disagree on {attribute}")
+        return values.pop()
+
+
+def smoothing_parameter(epsilon: float, diameter_bound: int) -> int:
+    """Theorem 4's ``k = ⌊ε · D0 / 4⌋`` (0 means: use the exact path)."""
+    if epsilon <= 0:
+        raise GraphError("epsilon must be positive")
+    return int(epsilon * diameter_bound / 4)
+
+
+class ApproxEccNode(NodeAlgorithm):
+    """Per-node program for Theorem 4 + Corollary 4.
+
+    ``ctx.input_value`` is ``epsilon`` (identical at every node, as the
+    problem statement requires).
+    """
+
+    def program(self):
+        epsilon = float(self.ctx.input_value)
+        tree = yield from build_bfs_tree(self, ROOT)
+        d0 = tree.diameter_bound
+        k = smoothing_parameter(epsilon, d0)
+
+        if k < 1:
+            # Exact fallback: APSP is O(n) = O(n/D + D) for bounded D.
+            outcome = yield from apsp_phase(self, tree)
+            ecc_estimate = max(outcome.distances.values())
+            k = 0
+            dom_size = self.n
+        else:
+            dom = yield from compute_dominating_set(self, tree, k)
+            duration = dom.size + d0 + 2
+            ssp = yield from ssp_main_loop(
+                self, dom.in_dom, dom.size, duration
+            )
+            ecc_estimate = k + max(ssp.distances.values())
+            dom_size = dom.size
+
+        diam_estimate = yield from aggregate_and_share(
+            self, tree, ecc_estimate, combine_max
+        )
+        rad_estimate = yield from aggregate_and_share(
+            self, tree, ecc_estimate, combine_min
+        )
+        return ApproxPropertyResult(
+            uid=self.uid,
+            ecc_estimate=ecc_estimate,
+            diameter_estimate=diam_estimate,
+            radius_estimate=rad_estimate,
+            in_center_approx=(ecc_estimate <= rad_estimate + k),
+            in_peripheral_approx=(ecc_estimate >= diam_estimate - k),
+            k=k,
+            dom_size=dom_size,
+        )
+
+
+def run_approx_properties(
+    graph: Graph,
+    epsilon: float,
+    *,
+    seed: int = 0,
+    bandwidth_bits: Optional[int] = None,
+) -> ApproxPropertySummary:
+    """Run the Theorem 4 / Corollary 4 pipeline on ``graph``."""
+    validate_apsp_input(graph)
+    if epsilon <= 0:
+        raise GraphError("epsilon must be positive")
+    inputs = {uid: epsilon for uid in graph.nodes}
+    network = Network(
+        graph,
+        ApproxEccNode,
+        inputs=inputs,
+        seed=seed,
+        bandwidth_bits=bandwidth_bits,
+    )
+    outcome = network.run()
+    return ApproxPropertySummary(
+        epsilon=epsilon,
+        results=outcome.results,
+        metrics=outcome.metrics,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Remark 1: (×,2) via a single BFS in O(D).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Remark1Result:
+    """One node's output of the Remark 1 single-BFS estimator."""
+
+    uid: int
+    depth: int
+    ecc_root: int
+
+    @property
+    def diameter_estimate(self) -> int:
+        """``2 · ecc(1) ∈ [D, 2D]`` — a (×,2) diameter approximation."""
+        return 2 * self.ecc_root
+
+    @property
+    def radius_estimate(self) -> int:
+        """``ecc(1) ∈ [rad, 2·rad]`` — a (×,2) radius approximation."""
+        return self.ecc_root
+
+    @property
+    def ecc_estimate(self) -> int:
+        """``d(v,1) + ecc(1) ∈ [ecc(v), 3·ecc(v)]`` (see module docs)."""
+        return self.depth + self.ecc_root
+
+
+class Remark1Node(NodeAlgorithm):
+    """One BFS + echo from node 1; everything else is local."""
+
+    def program(self):
+        tree = yield from build_bfs_tree(self, ROOT)
+        return Remark1Result(
+            uid=self.uid,
+            depth=tree.depth,
+            ecc_root=tree.ecc_root,
+        )
+
+
+def run_remark1(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    bandwidth_bits: Optional[int] = None,
+) -> Tuple[Dict[int, Remark1Result], RunMetrics]:
+    """Run the Remark 1 (×,2) estimator; ``O(D)`` rounds."""
+    validate_apsp_input(graph)
+    network = Network(
+        graph, Remark1Node, seed=seed, bandwidth_bits=bandwidth_bits
+    )
+    outcome = network.run()
+    return outcome.results, outcome.metrics
+
+
+def remark2_center_peripheral(graph: Graph) -> FrozenSet[int]:
+    """Remark 2: the whole node set is a (×,2) center/peripheral answer.
+
+    Every node "joins the set internally", costing zero rounds: by
+    Fact 1, every eccentricity lies within a factor 2 of both the radius
+    and the diameter, so the all-nodes answer meets the Definition 5
+    set-approximation semantics for ratio 2.
+    """
+    return frozenset(graph.nodes)

@@ -1,0 +1,31 @@
+"""Center vertices: exact (Lemma 5), ``(×,1+ε)``-flavoured set
+approximation (Corollary 4) and the 0-round ``(×,2)`` answer
+(Remark 2); thin wrappers over the property engines."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from ..congest.metrics import RunMetrics
+from ..graphs.graph import Graph
+from .approx import remark2_center_peripheral, run_approx_properties
+from .properties import run_graph_properties
+
+
+def exact_center(graph: Graph, *, seed: int = 0) -> Tuple[FrozenSet[int], RunMetrics]:
+    """Lemma 5: each node knows whether it is a center vertex; ``O(n)``."""
+    summary = run_graph_properties(graph, include_girth=False, seed=seed)
+    return summary.center(), summary.metrics
+
+
+def approx_center(
+    graph: Graph, epsilon: float, *, seed: int = 0
+) -> Tuple[FrozenSet[int], RunMetrics]:
+    """Corollary 4: a superset of the center within ``2k`` of optimal."""
+    summary = run_approx_properties(graph, epsilon, seed=seed)
+    return summary.center_approx(), summary.metrics
+
+
+def remark2_center(graph: Graph) -> FrozenSet[int]:
+    """Remark 2: the all-nodes (×,2) answer, zero rounds."""
+    return remark2_center_peripheral(graph)

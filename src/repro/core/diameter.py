@@ -1,0 +1,55 @@
+"""Diameter: exact (Lemma 3), ``(×,1+ε)`` (Corollary 4), ``(×,2)`` in
+``O(D)`` (Remark 1), ``(×,3/2)`` (Corollary 1) and 2-vs-4 (Theorem 7).
+
+Thin problem-oriented wrappers; the algorithms live in
+:mod:`repro.core.properties`, :mod:`repro.core.approx`,
+:mod:`repro.core.prt` and :mod:`repro.core.two_vs_four`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Tuple
+
+from ..congest.metrics import RunMetrics
+from ..graphs.graph import Graph
+from .approx import run_approx_properties, run_remark1
+from .properties import run_graph_properties
+from .prt import combined_diameter_estimate, run_prt_diameter
+from .two_vs_four import run_two_vs_four
+
+
+def exact_diameter(graph: Graph, *, seed: int = 0) -> Tuple[int, RunMetrics]:
+    """Lemma 3: the exact diameter, known to every node; ``O(n)``."""
+    summary = run_graph_properties(graph, include_girth=False, seed=seed)
+    return summary.diameter, summary.metrics
+
+
+def approx_diameter(
+    graph: Graph, epsilon: float, *, seed: int = 0
+) -> Tuple[int, RunMetrics]:
+    """Corollary 4: ``(×,1+ε)`` diameter in ``O(n/D + D)``."""
+    summary = run_approx_properties(graph, epsilon, seed=seed)
+    return summary.diameter_estimate, summary.metrics
+
+
+def remark1_diameter(graph: Graph, *, seed: int = 0) -> Tuple[int, RunMetrics]:
+    """Remark 1: the ``(×,2)`` estimate ``2·ecc(1)`` in ``O(D)``."""
+    results, metrics = run_remark1(graph, seed=seed)
+    return next(iter(results.values())).diameter_estimate, metrics
+
+
+def prt_diameter(graph: Graph, *, seed: int = 0) -> Tuple[int, RunMetrics]:
+    """Section 3.6: the (×,3/2) ACIM/PRT estimator."""
+    summary = run_prt_diameter(graph, seed=seed)
+    return summary.estimate, summary.metrics
+
+
+def corollary1_diameter(graph: Graph, *, seed: int = 0) -> Mapping[str, object]:
+    """Corollary 1: per-instance min-combination of the two above."""
+    return combined_diameter_estimate(graph, seed=seed)
+
+
+def two_vs_four(graph: Graph, *, seed: int = 0) -> Tuple[int, RunMetrics]:
+    """Theorem 7: decide diameter 2 vs 4 in ``Õ(√n)`` (promise input)."""
+    summary = run_two_vs_four(graph, seed=seed)
+    return summary.diameter, summary.metrics

@@ -1,0 +1,179 @@
+"""Distributed k-dominating sets (Lemma 10 / Kutten–Peleg ``Diam_DOM``).
+
+The approximation algorithms (Theorems 4 and 5, Corollary 4) need, for a
+given ``k``, a set ``DOM`` with
+
+* every node within ``k`` hops of some member (Definition 9), and
+* ``|DOM| ≤ 1 + ⌊n / (k+1)⌋`` members,
+
+computed in ``O(D + k)`` rounds.  The paper imports the Kutten–Peleg
+machinery for this; we implement the classic BFS-tree residue
+construction that achieves the same bounds (size differs by at most the
+``+1`` for the root, absorbed by the O(·)):
+
+1. every node knows its depth in ``T_1``; its *residue* is
+   ``depth mod (k+1)``;
+2. a **pipelined convergecast** counts each residue class — wave ``j``
+   carries the class-``j`` census, waves are staggered so each tree edge
+   carries one message per round, finishing in ``O(D + k)`` rounds;
+3. the root picks the smallest class ``r*`` (≤ ``n/(k+1)`` by
+   averaging) and announces it; ``DOM`` = the class ``r*`` plus the
+   root;
+4. every node adopts its nearest ``DOM`` ancestor as *dominator* via a
+   pipelined downcast — walking up from depth ``d``, some ancestor
+   within ``k`` steps has residue ``r*`` (any ``k+1`` consecutive depths
+   cover all residues) or is the root, so the dominator is within ``k``
+   hops, giving the partition of Definition 9.
+
+The sub-protocol assumes an already-built
+:class:`~repro.core.subroutines.TreeInfo` and the usual aligned
+entry/exit convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..congest.errors import GraphError
+from ..congest.network import Network
+from ..congest.node import NodeAlgorithm
+from ..graphs.graph import Graph
+from .apsp import ROOT, validate_apsp_input
+from .messages import CensusMsg, DomAnnounceMsg, DominatorMsg
+from .subroutines import TreeInfo, build_bfs_tree, wait_until_round
+
+
+@dataclass(frozen=True)
+class DomInfo:
+    """What a node knows after the dominating-set computation."""
+
+    k: int
+    residue: int
+    selected_residue: int
+    in_dom: bool
+    size: int
+    #: Nearest dominator (== uid when ``in_dom``); within ``k`` hops.
+    dominator: int
+
+
+def compute_dominating_set(node: NodeAlgorithm, tree: TreeInfo, k: int):
+    """Aligned sub-protocol computing a k-dominating set over ``tree``.
+
+    All nodes must enter in the same round with identical ``k``;
+    returns a :class:`DomInfo` at every node, all exiting together after
+    ``O(ecc_root + k)`` rounds.
+    """
+    if k < 1:
+        raise GraphError("k-dominating set needs k >= 1")
+    start = node.round
+    classes = k + 1
+    residue = tree.depth % classes
+
+    # --- Phase A: pipelined residue census up the tree -------------------
+    counts: List[int] = [1 if j == residue else 0 for j in range(classes)]
+    reported: List[int] = [0] * classes           # children done per wave
+    next_wave = 0
+    census_end = start + tree.ecc_root + classes + 3
+    while node.round < census_end:
+        if (next_wave < classes
+                and reported[next_wave] == len(tree.children)
+                and not tree.is_root):
+            node.send(tree.parent, CensusMsg(
+                root=tree.root, wave=next_wave, value=counts[next_wave],
+            ))
+            next_wave += 1
+        inbox = yield
+        for sender, msg in inbox.items():
+            if isinstance(msg, CensusMsg) and msg.root == tree.root:
+                counts[msg.wave] += msg.value
+                reported[msg.wave] += 1
+
+    # --- Phase B: root selects the smallest class and announces ----------
+    announce_end = census_end + tree.ecc_root + 2
+    if tree.is_root:
+        selected = min(range(classes), key=lambda j: (counts[j], j))
+        size = counts[selected] + (1 if selected != 0 else 0)
+        announce = DomAnnounceMsg(root=tree.root, residue=selected,
+                                  size=size)
+        for child in tree.children:
+            node.send(child, announce)
+    else:
+        announce = None
+        while announce is None:
+            inbox = yield
+            for _, msg in inbox.items():
+                if isinstance(msg, DomAnnounceMsg) and msg.root == tree.root:
+                    announce = msg
+                    break
+        for child in tree.children:
+            node.send(child, announce)
+        selected = announce.residue
+        size = announce.size
+    yield from wait_until_round(node, announce_end)
+
+    in_dom = tree.is_root or residue == selected
+
+    # --- Phase C: dominator assignment down the tree ---------------------
+    assign_end = announce_end + tree.ecc_root + 2
+    if in_dom:
+        dominator = node.uid
+        for child in tree.children:
+            node.send(child, DominatorMsg(dominator=node.uid))
+    else:
+        dominator = None
+        while dominator is None:
+            inbox = yield
+            for _, msg in inbox.items():
+                if isinstance(msg, DominatorMsg):
+                    dominator = msg.dominator
+                    break
+        for child in tree.children:
+            node.send(child, DominatorMsg(dominator=dominator))
+    yield from wait_until_round(node, assign_end)
+
+    return DomInfo(
+        k=k,
+        residue=residue,
+        selected_residue=selected,
+        in_dom=in_dom,
+        size=size,
+        dominator=dominator,
+    )
+
+
+class DominatingSetNode(NodeAlgorithm):
+    """Standalone runner: build ``T_1`` then compute a k-dominating set.
+
+    ``ctx.input_value`` carries ``k`` (same at every node).
+    """
+
+    def program(self):
+        k = int(self.ctx.input_value)
+        tree = yield from build_bfs_tree(self, ROOT)
+        info = yield from compute_dominating_set(self, tree, k)
+        return info
+
+
+def run_dominating_set(
+    graph: Graph,
+    k: int,
+    *,
+    seed: int = 0,
+    bandwidth_bits: Optional[int] = None,
+):
+    """Run the standalone k-dominating-set computation.
+
+    Returns ``(per-node DomInfo dict, RunMetrics)``.
+    """
+    validate_apsp_input(graph)
+    inputs = {uid: k for uid in graph.nodes}
+    network = Network(
+        graph,
+        DominatingSetNode,
+        inputs=inputs,
+        seed=seed,
+        bandwidth_bits=bandwidth_bits,
+    )
+    outcome = network.run()
+    return outcome.results, outcome.metrics

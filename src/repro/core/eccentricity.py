@@ -1,0 +1,33 @@
+"""Eccentricities: exact (Lemma 2), ``(×,1+ε)`` (Theorem 4) and the
+one-BFS ``(×,2)``-flavoured estimate (Remark 1).
+
+Thin problem-oriented wrappers over :mod:`repro.core.properties` and
+:mod:`repro.core.approx`; see those modules for the algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..graphs.graph import Graph
+from .approx import ApproxPropertySummary, run_approx_properties, run_remark1
+from .properties import run_graph_properties
+from .results import PropertySummary
+
+
+def exact_eccentricities(graph: Graph, *, seed: int = 0) -> PropertySummary:
+    """Lemma 2: every node learns its exact eccentricity; ``O(n)``."""
+    return run_graph_properties(graph, include_girth=False, seed=seed)
+
+
+def approx_eccentricities(
+    graph: Graph, epsilon: float, *, seed: int = 0
+) -> ApproxPropertySummary:
+    """Theorem 4: ``(×,1+ε)`` eccentricities in ``O(n/D + D)``."""
+    return run_approx_properties(graph, epsilon, seed=seed)
+
+
+def remark1_eccentricities(graph: Graph, *, seed: int = 0) -> Dict[int, int]:
+    """Remark 1's one-BFS estimates ``d(v,1) + ecc(1)``; ``O(D)``."""
+    results, _ = run_remark1(graph, seed=seed)
+    return {uid: res.ecc_estimate for uid, res in results.items()}

@@ -1,0 +1,213 @@
+"""Protocol messages shared by the paper's algorithms.
+
+Each message is a few identifiers/counters wide — ``O(log n)`` bits — so
+any constant-size bundle of them fits the CONGEST budget ``B``.  The
+strict bandwidth policy verifies that claim on every edge of every round
+of every test run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Tuple
+
+from ..congest.message import Message, register_message
+
+
+@register_message
+@dataclass(frozen=True)
+class BfsToken(Message):
+    """The BFS wave: "root ``root`` is at distance ``dist`` from me"."""
+
+    root: int
+    dist: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("root", "id"),
+        ("dist", "dist"),
+    )
+
+
+@register_message
+@dataclass(frozen=True)
+class JoinMsg(Message):
+    """Child → parent: "I joined your tree ``root``"."""
+
+    root: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (("root", "id"),)
+
+
+@register_message
+@dataclass(frozen=True)
+class EchoMsg(Message):
+    """Convergecast during tree construction.
+
+    ``primary`` aggregates the maximum depth seen in the subtree (the
+    root learns its eccentricity); ``secondary`` sums per-node marks (the
+    root learns how many marked nodes exist, e.g. ``|S|`` for S-SP).
+    """
+
+    root: int
+    primary: int
+    secondary: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("root", "id"),
+        ("primary", "count"),
+        ("secondary", "count"),
+    )
+
+
+@register_message
+@dataclass(frozen=True)
+class SyncMsg(Message):
+    """Root → everyone: tree is complete; global phase parameters.
+
+    ``ecc_root`` is the root's exact eccentricity (so every node can
+    compute the paper's ``D0 = 2 · ecc(root) ≥ D``), ``marked`` the echo
+    count, and ``start_round`` the globally agreed first round of the
+    next phase.
+    """
+
+    root: int
+    ecc_root: int
+    marked: int
+    start_round: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("root", "id"),
+        ("ecc_root", "count"),
+        ("marked", "count"),
+        ("start_round", "round"),
+    )
+
+
+@register_message
+@dataclass(frozen=True)
+class PebbleMsg(Message):
+    """The traversal pebble of Algorithm 1 (a bare token)."""
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = ()
+
+
+@register_message
+@dataclass(frozen=True)
+class UpMsg(Message):
+    """Generic convergecast payload (one combined value per subtree)."""
+
+    root: int
+    value: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("root", "id"),
+        ("value", "round"),
+    )
+
+
+@register_message
+@dataclass(frozen=True)
+class DownMsg(Message):
+    """Generic broadcast payload (root's value pushed down the tree)."""
+
+    root: int
+    value: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("root", "id"),
+        ("value", "round"),
+    )
+
+
+@register_message
+@dataclass(frozen=True)
+class DvMsg(Message):
+    """Distance-vector update: "my distance to ``target`` is ``dist``"."""
+
+    target: int
+    dist: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("target", "id"),
+        ("dist", "dist"),
+    )
+
+
+@register_message
+@dataclass(frozen=True)
+class EdgeMsg(Message):
+    """Link-state flooding: one edge of the topology."""
+
+    u: int
+    v: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("u", "id"),
+        ("v", "id"),
+    )
+
+
+@register_message
+@dataclass(frozen=True)
+class CensusMsg(Message):
+    """Pipelined convergecast for the k-dominating-set residue census.
+
+    One wave per residue class ``0..k``; a node forwards wave ``j`` only
+    after all children reported wave ``j`` and its own wave ``j-1`` went
+    out, so each tree edge carries at most one census message per round.
+    """
+
+    root: int
+    wave: int
+    value: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("root", "id"),
+        ("wave", "count"),
+        ("value", "count"),
+    )
+
+
+@register_message
+@dataclass(frozen=True)
+class DomAnnounceMsg(Message):
+    """Root → everyone: the selected residue class and ``|DOM|``."""
+
+    root: int
+    residue: int
+    size: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("root", "id"),
+        ("residue", "count"),
+        ("size", "count"),
+    )
+
+
+@register_message
+@dataclass(frozen=True)
+class DominatorMsg(Message):
+    """Parent → child: the id of your nearest dominator ancestor."""
+
+    dominator: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (("dominator", "id"),)
+
+
+@register_message
+@dataclass(frozen=True)
+class OfferMsg(Message):
+    """Algorithm 2's per-edge offer: "(source id, its distance via me)".
+
+    Line 17 of Algorithm 2: node ``v`` sends ``(l_i, δ[l_i] + 1)`` to
+    neighbor ``i``; an empty list ``L_i`` sends nothing at all (the
+    receiver reads a missing offer as ``l = ∞``).
+    """
+
+    source: int
+    dist: int
+
+    FIELDS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("source", "id"),
+        ("dist", "dist"),
+    )

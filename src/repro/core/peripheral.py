@@ -1,0 +1,33 @@
+"""Peripheral vertices: exact (Lemma 6), ``(×,1+ε)``-flavoured set
+approximation (Corollary 4) and the 0-round ``(×,2)`` answer
+(Remark 2); thin wrappers over the property engines."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from ..congest.metrics import RunMetrics
+from ..graphs.graph import Graph
+from .approx import remark2_center_peripheral, run_approx_properties
+from .properties import run_graph_properties
+
+
+def exact_peripheral(
+    graph: Graph, *, seed: int = 0
+) -> Tuple[FrozenSet[int], RunMetrics]:
+    """Lemma 6: each node knows whether it is peripheral; ``O(n)``."""
+    summary = run_graph_properties(graph, include_girth=False, seed=seed)
+    return summary.peripheral(), summary.metrics
+
+
+def approx_peripheral(
+    graph: Graph, epsilon: float, *, seed: int = 0
+) -> Tuple[FrozenSet[int], RunMetrics]:
+    """Corollary 4: a superset of the peripheral set within ``2k``."""
+    summary = run_approx_properties(graph, epsilon, seed=seed)
+    return summary.peripheral_approx(), summary.metrics
+
+
+def remark2_peripheral(graph: Graph) -> FrozenSet[int]:
+    """Remark 2: the all-nodes (×,2) answer, zero rounds."""
+    return remark2_center_peripheral(graph)

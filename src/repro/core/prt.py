@@ -1,0 +1,236 @@
+"""Section 3.6 companions: the Peleg–Roditty–Tal ``(×,3/2)`` diameter
+approximation and the Corollary 1 / Corollary 2 combinations.
+
+Corollary 1 combines this paper's ``O(n/D + D)`` ``(×,1+ε)`` algorithm
+(ε ≤ 1/2) with [33]'s ``(×,3/2)`` algorithm into a
+``O(min{D·√n, n/D + D})`` estimator.  We implement the
+Aingworth–Chekuri–Indyk–Motwani estimator that [33] distributes:
+
+1. sample ``A`` of ``Θ(√(n·log n))`` nodes (node 1 always joins);
+2. solve ``A``-SP; elect ``w``, the node farthest from ``A``;
+3. BFS from ``w``; gather ``w``'s distance-``r*`` cluster, where ``r*``
+   is the smallest radius whose ball around ``w`` holds ≥ ``|A|`` nodes
+   (found by ``O(log D)`` aggregated counts);
+4. solve ``(A ∪ cluster ∪ {w})``-SP; the estimate is the largest
+   distance any node saw from any source — at most ``D`` and, w.h.p.,
+   at least ``⌊2D/3⌋`` (ACIM Theorem 1.1 / [33]).
+
+Because Algorithm 2 is available as a primitive here, each multi-source
+phase costs ``O(√(n·log n) + D)`` rounds instead of [33]'s sequential
+``O(D·√n)`` — strictly better than the Corollary 1 bound of
+``O(n^{3/4} + D)``; the benchmark records both the measured rounds and
+the would-have-been sequential cost.
+
+Corollary 2 (girth): [33]'s ``(×, 2 - 1/g)`` girth routine needs
+machinery from a paper we do not have; the corollary's *combination* is
+exercised by :func:`combined_girth_estimate`, which picks between the
+exact ``O(n)`` algorithm (Lemma 7) and the Theorem 5 ``(×,1+ε)``
+approximation using the same ``min{·}`` rule.  The substitution is
+recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..congest.message import INFINITY
+from ..congest.metrics import RunMetrics
+from ..congest.network import Network
+from ..congest.node import NodeAlgorithm
+from ..graphs.graph import Graph
+from .apsp import ROOT, validate_apsp_input
+from .girth import GirthSummary, run_approx_girth, run_exact_girth
+from .ssp import ssp_main_loop
+from .subroutines import (
+    aggregate_and_share,
+    build_bfs_tree,
+    combine_max,
+    combine_min,
+    combine_sum,
+)
+
+
+@dataclass(frozen=True)
+class DiameterEstimate:
+    """One node's output of the (×,3/2) diameter estimator."""
+
+    uid: int
+    estimate: int
+    sample_size: int
+    cluster_radius: int
+    #: Rounds a sequential-BFS rendering ([33]'s schedule) would need.
+    sequential_cost: int
+
+
+@dataclass(frozen=True)
+class DiameterEstimateSummary:
+    results: Mapping[int, DiameterEstimate]
+    metrics: RunMetrics
+
+    @property
+    def rounds(self) -> int:
+        """Number of communication rounds used."""
+        return self.metrics.rounds
+
+    @property
+    def estimate(self) -> int:
+        """The shared diameter estimate (within [2D/3, D])."""
+        values = {r.estimate for r in self.results.values()}
+        if len(values) != 1:
+            raise AssertionError("nodes disagree on the estimate")
+        return values.pop()
+
+
+class Prt32Node(NodeAlgorithm):
+    """Per-node program of the distributed ACIM/PRT (×,3/2) estimator."""
+
+    def program(self):
+        tree = yield from build_bfs_tree(self, ROOT)
+        d0 = tree.diameter_bound
+        target = math.sqrt(self.n * math.log2(max(2, self.n)))
+
+        # --- Step 1+2: sample A, solve A-SP, elect the farthest node.
+        in_a = (self.uid == ROOT or
+                self.ctx.rng.random() < target / self.n)
+        size_a = yield from aggregate_and_share(
+            self, tree, 1 if in_a else 0, combine_sum
+        )
+        a_sp = yield from ssp_main_loop(self, in_a, size_a,
+                                        size_a + d0 + 2)
+        my_gap = min(a_sp.distances.values())
+        # Farthest-from-A node, ties to the smaller id: first share the
+        # maximum gap, then elect the smallest id attaining it.
+        max_gap = yield from aggregate_and_share(
+            self, tree, my_gap, combine_max
+        )
+        candidate = self.uid if my_gap == max_gap else INFINITY
+        w = yield from aggregate_and_share(
+            self, tree, candidate, combine_min
+        )
+        is_w = self.uid == w
+
+        # --- Step 3: BFS from w, then find the smallest radius whose
+        # ball holds >= |A| nodes, via a logarithmic scan of aggregated
+        # ball sizes.
+        w_sp = yield from ssp_main_loop(self, is_w, 1, 1 + d0 + 2)
+        dist_w = w_sp.distances[w]
+        low, high = 0, d0
+        while low < high:
+            mid = (low + high) // 2
+            ball = yield from aggregate_and_share(
+                self, tree, 1 if dist_w <= mid else 0, combine_sum
+            )
+            if ball >= min(self.n, int(target)):
+                high = mid
+            else:
+                low = mid + 1
+        cluster_radius = low
+        in_cluster = dist_w <= cluster_radius
+
+        # --- Step 4: SP from A ∪ cluster ∪ {w}; estimate = max distance.
+        in_final = in_a or in_cluster or is_w
+        size_final = yield from aggregate_and_share(
+            self, tree, 1 if in_final else 0, combine_sum
+        )
+        final_sp = yield from ssp_main_loop(self, in_final, size_final,
+                                            size_final + d0 + 2)
+        my_worst = max(final_sp.distances.values())
+        estimate = yield from aggregate_and_share(
+            self, tree, my_worst, combine_max
+        )
+        return DiameterEstimate(
+            uid=self.uid,
+            estimate=estimate,
+            sample_size=size_a,
+            cluster_radius=cluster_radius,
+            sequential_cost=(size_a + size_final) * (d0 + 2),
+        )
+
+
+def run_prt_diameter(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    bandwidth_bits: Optional[int] = None,
+) -> DiameterEstimateSummary:
+    """Run the (×,3/2) diameter estimator (Section 3.6 companion)."""
+    validate_apsp_input(graph)
+    outcome = Network(
+        graph, Prt32Node, seed=seed, bandwidth_bits=bandwidth_bits
+    ).run()
+    return DiameterEstimateSummary(results=outcome.results,
+                                   metrics=outcome.metrics)
+
+
+def combined_diameter_estimate(
+    graph: Graph,
+    *,
+    epsilon: float = 0.5,
+    seed: int = 0,
+) -> Mapping[str, object]:
+    """Corollary 1's combination, resolved per-instance.
+
+    Uses the cheap ``D0`` probe to decide which algorithm minimizes the
+    *predicted* cost — ``√n``-flavoured (small D) vs ``n/D + D``
+    (large D) — runs it, and reports estimate + measured rounds plus
+    the branch taken.
+    """
+    from .approx import run_approx_properties
+
+    validate_apsp_input(graph)
+    from .bfs import run_bfs
+
+    probe, probe_metrics = run_bfs(graph, seed=seed)
+    ecc_root = next(iter(probe.values())).ecc_root
+    d0 = max(1, 2 * ecc_root)
+    n = graph.n
+    prt_cost = math.sqrt(n * math.log2(max(2, n))) + d0
+    ours_cost = n / max(1, d0) + d0
+    if prt_cost <= ours_cost:
+        summary = run_prt_diameter(graph, seed=seed)
+        return {
+            "branch": "prt-3/2",
+            "estimate": summary.estimate,
+            "rounds": probe_metrics.rounds + summary.rounds,
+        }
+    summary = run_approx_properties(graph, epsilon, seed=seed)
+    return {
+        "branch": "holzer-wattenhofer-1+eps",
+        "estimate": summary.diameter_estimate,
+        "rounds": probe_metrics.rounds + summary.rounds,
+    }
+
+
+def combined_girth_estimate(
+    graph: Graph,
+    *,
+    epsilon: float = 0.5,
+    seed: int = 0,
+) -> Mapping[str, object]:
+    """Corollary 2's ``min{·}`` rule over the two girth algorithms we
+    have (exact O(n) vs Theorem 5); see the module docstring for the
+    documented substitution of [33]'s routine."""
+    from .bfs import run_bfs
+
+    validate_apsp_input(graph)
+    probe, probe_metrics = run_bfs(graph, seed=seed)
+    ecc_root = next(iter(probe.values())).ecc_root
+    d0 = max(1, 2 * ecc_root)
+    n = graph.n
+    # Calibrated against the measured per-phase costs: one Theorem 5
+    # phase costs ≈ n/k + 8·D0 and a handful of phases run, while the
+    # exact path costs ≈ 3n + 6·D0 — the approximation pays off once
+    # the diameter bound is small relative to n.
+    if d0 < n / 6:
+        summary: GirthSummary = run_approx_girth(graph, epsilon, seed=seed)
+        branch = "theorem5-approx"
+    else:
+        summary = run_exact_girth(graph, seed=seed)
+        branch = "lemma7-exact"
+    return {
+        "branch": branch,
+        "girth": summary.girth,
+        "rounds": probe_metrics.rounds + summary.rounds,
+    }

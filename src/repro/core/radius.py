@@ -1,0 +1,31 @@
+"""Radius: exact (Lemma 4), ``(×,1+ε)`` (Corollary 4) and ``(×,2)`` in
+``O(D)`` (Remark 1); thin wrappers over the property engines."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..congest.metrics import RunMetrics
+from ..graphs.graph import Graph
+from .approx import run_approx_properties, run_remark1
+from .properties import run_graph_properties
+
+
+def exact_radius(graph: Graph, *, seed: int = 0) -> Tuple[int, RunMetrics]:
+    """Lemma 4: the exact radius, known to every node; ``O(n)``."""
+    summary = run_graph_properties(graph, include_girth=False, seed=seed)
+    return summary.radius, summary.metrics
+
+
+def approx_radius(
+    graph: Graph, epsilon: float, *, seed: int = 0
+) -> Tuple[int, RunMetrics]:
+    """Corollary 4: ``(×,1+ε)`` radius in ``O(n/D + D)``."""
+    summary = run_approx_properties(graph, epsilon, seed=seed)
+    return summary.radius_estimate, summary.metrics
+
+
+def remark1_radius(graph: Graph, *, seed: int = 0) -> Tuple[int, RunMetrics]:
+    """Remark 1: ``ecc(1) ∈ [rad, 2·rad]`` in ``O(D)``."""
+    results, metrics = run_remark1(graph, seed=seed)
+    return next(iter(results.values())).radius_estimate, metrics

@@ -1,0 +1,294 @@
+"""Algorithm 2: S-Shortest-Paths in ``O(|S| + D)`` rounds.
+
+All ``|S|`` BFS waves start *simultaneously*; contention on an edge is
+resolved by a priority rule and the loser retries.  The paper proves
+(Theorem 3) that a wave is delayed at most once per higher-priority
+source, so ``|S| + D0`` synchronous iterations suffice (``D0 =
+2·ecc(1)``, computed and broadcast during the initialization phase,
+Lines 7–12).
+
+.. admonition:: Reproduction note — the priority rule
+
+   The extended abstract resolves contention by **source id only**
+   (smaller id wins, Lines 18–19).  As written, that rule admits
+   counterexamples: on a 9-cycle with ``S = {2,3,4,5,7,8,9}``, wave 5 is
+   delayed by 2, 3 and 4 along its shortest path to node 1 but sails
+   around the other side (where all ids are larger) undelayed, so node
+   1's *first* successful receipt of id 5 carries distance 5 instead of
+   4 — the "same set of delaying ids on both paths" step of the
+   Theorem 3 proof does not hold for waves that cross in opposite
+   directions.  ``tests/core/test_ssp.py`` reproduces this.
+
+   We therefore default to the **(distance, id) lexicographic**
+   priority — the rule established as correct by Lenzen & Peleg's
+   source-detection work (PODC'13), which this paper's S-SP directly
+   inspired.  It preserves the ``O(|S| + D)`` bound (a wave is still
+   delayed at most ``|S|`` times) and makes the first receipt carry the
+   true distance.  The paper's literal rule remains available as
+   ``priority="id"`` for the demonstration.
+
+Implementation notes:
+
+* The per-neighbor pending lists ``L_i`` and the accept/forward rules
+  follow the pseudocode line by line (Lines 13–29); each edge carries at
+  most one :class:`~repro.core.messages.OfferMsg` per direction per
+  round — comfortably within ``B``.
+* The initialization phase reuses
+  :func:`~repro.core.subroutines.build_bfs_tree` with a membership mark,
+  which simultaneously gives every node ``ecc(1)`` (hence ``D0``) **and**
+  ``|S|`` — both needed for the loop bound — in ``O(D)`` rounds.
+* ``detect_cycles=True`` adds the Lemma 7-style bookkeeping used by the
+  girth approximation (Theorem 5): every received offer for an
+  already-known source closes a walk of length ``δ[s] + offer.dist``
+  through ``s``, a genuine cycle-length upper bound because a source is
+  never offered back across its own tree edge (Line 22 excludes the
+  parent's list; the parent removed the id after its successful send).
+
+The whole main loop is exposed as the reusable sub-protocol
+:func:`ssp_main_loop` so the approximation algorithms (Theorems 4 and 5)
+can run S-SP phases over computed dominating sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..congest.errors import GraphError
+from ..congest.network import Network
+from ..congest.node import NodeAlgorithm
+from ..graphs.graph import Graph
+from .apsp import ROOT, validate_apsp_input
+from .messages import OfferMsg
+from .results import SspResult, SspSummary
+from .subroutines import TreeInfo, build_bfs_tree
+
+#: Priority rules for edge contention.
+PRIORITY_DIST_ID = "dist_id"   # corrected rule (default)
+PRIORITY_ID = "id"             # the paper's literal rule (demonstrably unsafe)
+
+
+class SspPhaseOutcome:
+    """Local outcome of one S-SP phase (plain mutable record)."""
+
+    __slots__ = ("distances", "parents", "cycle_candidate")
+
+    def __init__(self) -> None:
+        self.distances: Dict[int, int] = {}
+        self.parents: Dict[int, Optional[int]] = {}
+        self.cycle_candidate: Optional[int] = None
+
+
+def ssp_main_loop(
+    node: NodeAlgorithm,
+    in_s: bool,
+    size_s: int,
+    duration: int,
+    *,
+    detect_cycles: bool = False,
+    priority: str = PRIORITY_DIST_ID,
+    depth_limit: Optional[int] = None,
+):
+    """Lines 13–29 of Algorithm 2, as an aligned sub-protocol.
+
+    All nodes must enter in the same round knowing the same ``size_s``
+    and ``duration`` (≥ ``size_s + D`` for correctness; callers pass
+    ``size_s + D0 + slack``).  Returns an :class:`SspPhaseOutcome`.
+    """
+    if priority not in (PRIORITY_DIST_ID, PRIORITY_ID):
+        raise ValueError(f"unknown priority rule {priority!r}")
+    outcome = SspPhaseOutcome()
+    known: Set[int] = set()        # the set L
+    pending: Dict[int, Set[int]] = {nb: set() for nb in node.neighbors}
+    if in_s:
+        known.add(node.uid)
+        outcome.distances[node.uid] = 0
+        outcome.parents[node.uid] = None
+        for nb in node.neighbors:
+            pending[nb].add(node.uid)
+
+    def offer_key(source: int) -> Tuple[int, ...]:
+        if priority == PRIORITY_ID:
+            return (source,)
+        return (outcome.distances[source] + 1, source)
+
+    def wire_key(message: OfferMsg) -> Tuple[int, ...]:
+        if priority == PRIORITY_ID:
+            return (message.source,)
+        return (message.dist, message.source)
+
+    #: source -> sender -> smallest offered dist (cycle detection only).
+    seen_offers: Dict[int, Dict[int, int]] = {}
+
+    for _ in range(duration):
+        # Lines 14–17: offer the highest-priority pending id per neighbor.
+        offered: Dict[int, Optional[OfferMsg]] = {}
+        for nb in node.neighbors:
+            if pending[nb]:
+                best = min(pending[nb], key=offer_key)
+                message = OfferMsg(
+                    source=best,
+                    dist=outcome.distances[best] + 1,
+                )
+                offered[nb] = message
+                node.send(nb, message)
+            else:
+                offered[nb] = None  # l_i = ∞: nothing on the wire
+        inbox = yield
+        received: Dict[int, OfferMsg] = {}
+        for sender, msg in inbox.items():
+            if isinstance(msg, OfferMsg):
+                received[sender] = msg
+        if priority == PRIORITY_DIST_ID:
+            # Dequeue everything sent this round BEFORE processing any
+            # receipt: an improvement arriving from one neighbor may
+            # re-queue the same source for another, and that fresh entry
+            # must not be swallowed by the post-send removal.
+            for nb in node.neighbors:
+                mine = offered[nb]
+                if mine is not None:
+                    pending[nb].discard(mine.source)
+        # Lines 18–29, neighbors in ascending id order (the paper's
+        # v_1 .. v_d(v) indexing).
+        for nb in node.neighbors:
+            incoming = received.get(nb)
+            mine = offered[nb]
+            if incoming is not None and detect_cycles:
+                # Remember the best offer per (source, sender); cycle
+                # candidates are assembled at the end of the phase from
+                # *final* distances, excluding each source's final parent
+                # edge (whose offer would describe a degenerate walk).
+                per_sender = seen_offers.setdefault(incoming.source, {})
+                old = per_sender.get(nb)
+                if old is None or incoming.dist < old:
+                    per_sender[nb] = incoming.dist
+
+            if priority == PRIORITY_ID:
+                # The paper's literal blocking semantics: the smaller id
+                # wins the edge; the loser's content is DROPPED and the
+                # loser retries (Lines 19 / 26).  Only the first receipt
+                # of an id ever counts.
+                if incoming is not None and (
+                    mine is None or wire_key(incoming) < wire_key(mine)
+                ):
+                    if incoming.source not in known:
+                        outcome.distances[incoming.source] = incoming.dist
+                        outcome.parents[incoming.source] = nb
+                        known.add(incoming.source)
+                        if depth_limit is None or \
+                                incoming.dist < depth_limit:
+                            for other in node.neighbors:
+                                if other != nb:
+                                    pending[other].add(incoming.source)
+                elif mine is not None:
+                    pending[nb].discard(mine.source)
+                continue
+
+            # Corrected (Lenzen–Peleg) semantics: edges are full duplex
+            # in CONGEST, so nothing blocks — every staged offer leaves
+            # the queue (dequeued below, before any receipt processing),
+            # and every received entry is min-merged.  A strict
+            # improvement is re-queued for the other neighbors and
+            # overtakes stale copies by its higher priority.
+            if incoming is not None:
+                best = outcome.distances.get(incoming.source)
+                if best is None or incoming.dist < best:
+                    outcome.distances[incoming.source] = incoming.dist
+                    outcome.parents[incoming.source] = nb
+                    known.add(incoming.source)
+                    if depth_limit is None or incoming.dist < depth_limit:
+                        # k-BFS truncation (Definition 7): nodes at the
+                        # cut-off depth do not extend the wave further.
+                        for other in node.neighbors:
+                            if other != nb:
+                                pending[other].add(incoming.source)
+
+    if detect_cycles:
+        # Walk: me → s (final δ[s]) + edge to sender + sender → s at the
+        # time of the offer (dist - 1); genuine because the final parent
+        # edge is excluded on both sides (the sender never offers across
+        # its own parent edge, and we skip ours here).
+        for source, per_sender in seen_offers.items():
+            if source not in outcome.distances:
+                continue
+            base = outcome.distances[source]
+            my_parent = outcome.parents.get(source)
+            for sender, dist in per_sender.items():
+                if sender == my_parent:
+                    continue
+                candidate = base + dist
+                if outcome.cycle_candidate is None or \
+                        candidate < outcome.cycle_candidate:
+                    outcome.cycle_candidate = candidate
+    return outcome
+
+
+class SspNode(NodeAlgorithm):
+    """Per-node program of Algorithm 2.
+
+    ``ctx.input_value`` is truthy iff this node belongs to ``S``.
+    """
+
+    detect_cycles = False
+    priority = PRIORITY_DIST_ID
+
+    def program(self):
+        in_s = bool(self.ctx.input_value)
+        self.tree: TreeInfo = yield from build_bfs_tree(
+            self, ROOT, mark=1 if in_s else 0
+        )
+        size_s = self.tree.marked_count
+        duration = size_s + self.tree.diameter_bound + 2
+        outcome = yield from ssp_main_loop(
+            self, in_s, size_s, duration,
+            detect_cycles=self.detect_cycles,
+            priority=self.priority,
+        )
+        return SspResult(
+            uid=self.uid,
+            distances=dict(outcome.distances),
+            parents=dict(outcome.parents),
+        )
+
+
+class SspPaperRuleNode(SspNode):
+    """Algorithm 2 with the paper's literal id-only priority.
+
+    Exists to *demonstrate* (in tests and EXPERIMENTS.md) that the
+    extended abstract's rule can record non-shortest distances; do not
+    use it for real computations.
+    """
+
+    priority = PRIORITY_ID
+
+
+def run_ssp(
+    graph: Graph,
+    sources: Iterable[int],
+    *,
+    seed: int = 0,
+    bandwidth_bits: Optional[int] = None,
+    track_edges: bool = False,
+    priority: str = PRIORITY_DIST_ID,
+) -> SspSummary:
+    """Run Algorithm 2 for source set ``sources`` and assemble results."""
+    validate_apsp_input(graph)
+    source_set = frozenset(sources)
+    unknown = source_set - set(graph.nodes)
+    if unknown:
+        raise GraphError(f"sources {sorted(unknown)} are not graph nodes")
+    inputs = {uid: (uid in source_set) for uid in graph.nodes}
+    factory = SspPaperRuleNode if priority == PRIORITY_ID else SspNode
+    network = Network(
+        graph,
+        factory,
+        inputs=inputs,
+        seed=seed,
+        bandwidth_bits=bandwidth_bits,
+        track_edges=track_edges,
+    )
+    result = network.run()
+    return SspSummary(
+        sources=source_set,
+        results=result.results,
+        metrics=result.metrics,
+    )

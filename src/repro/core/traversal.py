@@ -1,0 +1,98 @@
+"""Standalone pebble traversal (Remark 3).
+
+"A spanning tree of G can be traversed in time O(n) by sending a pebble
+over an edge in each time slot" — this module runs exactly that over
+``T_1`` (without starting any BFS waves) so tests and examples can
+inspect the DFS visit order and verify the 2(n-1) edge-move bound in
+isolation from Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from ..congest.metrics import RunMetrics
+from ..congest.network import Network
+from ..congest.node import NodeAlgorithm
+from ..graphs.graph import Graph
+from .apsp import ROOT, validate_apsp_input
+from .messages import DownMsg, PebbleMsg
+from .subroutines import build_bfs_tree
+
+
+@dataclass(frozen=True)
+class TraversalResult:
+    """One node's view of the completed traversal."""
+
+    uid: int
+    #: Round in which the pebble first arrived (the root reports the
+    #: phase start round).
+    first_visit_round: int
+    depth: int
+    parent: Optional[int]
+    children: Tuple[int, ...]
+
+
+class PebbleTraversalNode(NodeAlgorithm):
+    """Build ``T_1``, then DFS-traverse it with a pebble (no waits)."""
+
+    def program(self):
+        tree = yield from build_bfs_tree(self, ROOT)
+        children = tree.children
+        next_child = 0
+        first_visit: Optional[int] = tree.start_round if tree.is_root else None
+        pebble_here = tree.is_root
+        finish_round: Optional[int] = None
+
+        while finish_round is None or self.round < finish_round:
+            inbox = yield
+            for _, msg in inbox.items():
+                if isinstance(msg, DownMsg) and msg.root == ROOT:
+                    finish_round = msg.value
+                    for child in children:
+                        self.send(child, msg)
+            received = any(
+                isinstance(msg, PebbleMsg) for _, msg in inbox.items()
+            )
+            if received:
+                pebble_here = True
+                if first_visit is None:
+                    first_visit = self.round
+            if pebble_here:
+                if next_child < len(children):
+                    self.send(children[next_child], PebbleMsg())
+                    next_child += 1
+                    pebble_here = False
+                elif tree.parent is not None:
+                    self.send(tree.parent, PebbleMsg())
+                    pebble_here = False
+                else:
+                    finish_round = self.round + tree.ecc_root + 2
+                    for child in children:
+                        self.send(child,
+                                  DownMsg(root=ROOT, value=finish_round))
+                    pebble_here = False
+
+        return TraversalResult(
+            uid=self.uid,
+            first_visit_round=first_visit,
+            depth=tree.depth,
+            parent=tree.parent,
+            children=children,
+        )
+
+
+def run_pebble_traversal(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    bandwidth_bits: Optional[int] = None,
+) -> Tuple[Mapping[int, TraversalResult], RunMetrics]:
+    """Traverse ``T_1`` with a pebble; returns ``(results, metrics)``."""
+    validate_apsp_input(graph)
+    outcome = Network(
+        graph, PebbleTraversalNode, seed=seed,
+        bandwidth_bits=bandwidth_bits,
+    ).run()
+    return outcome.results, outcome.metrics

@@ -1,0 +1,149 @@
+"""Algorithm 3 (2-vs-4): distinguish diameter 2 from diameter 4 in
+``Õ(√n)`` rounds (Theorem 7).
+
+The distributed rendering of Aingworth–Chekuri–Indyk–Motwani's 2-vs-4
+test with threshold ``s = √(n · log n)``:
+
+* If some node has degree below ``s`` (the set ``L(V)`` is non-empty),
+  pick one such node ``v`` (smallest id, found by an ``O(D)``
+  aggregate) and compute a BFS tree from **every vertex of**
+  ``N_1(v)``.  In a diameter-2 graph, ``N_1(v)`` of *any* node
+  dominates the graph, so if all those trees have depth ≤ 2 the
+  diameter is 2; if the diameter is 4 some tree must reach depth ≥ 3.
+* Otherwise every node has degree ≥ s, and a uniformly random set of
+  ``Θ(√(n·log n))`` nodes dominates the graph w.h.p. (Remark 6); BFS
+  from each of them and apply the same depth test.
+
+The paper runs the ≤ s BFS computations sequentially (``O(s·D)``, fine
+because ``D ≤ 4``); having Algorithm 2 available we run them as one
+S-SP phase in ``O(s + D)`` rounds — same verdict, no slower.  Node 1
+always joins the sampled set so it is never empty.
+
+The test is one-sided only under the promise ``D ∈ {2, 4}``; the runner
+checks nothing beyond the paper's assumptions and simply reports the
+verdict, which tests validate against the oracle on promise inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..congest.message import INFINITY
+from ..congest.metrics import RunMetrics
+from ..congest.network import Network
+from ..congest.node import NodeAlgorithm
+from ..graphs.graph import Graph
+from .apsp import ROOT, validate_apsp_input
+from .ssp import ssp_main_loop
+from .subroutines import (
+    aggregate_and_share,
+    build_bfs_tree,
+    combine_max,
+    combine_min,
+    combine_sum,
+)
+
+
+def degree_threshold(n: int) -> float:
+    """The paper's ``s = √(n · log n)`` (base-2 logarithm)."""
+    return math.sqrt(n * math.log2(max(2, n)))
+
+
+@dataclass(frozen=True)
+class TwoVsFourResult:
+    """One node's output of Algorithm 3."""
+
+    uid: int
+    diameter: int              # 2 or 4
+    branch: str                # "low-degree" or "sampled"
+    source_count: int
+
+
+@dataclass(frozen=True)
+class TwoVsFourSummary:
+    results: Mapping[int, TwoVsFourResult]
+    metrics: RunMetrics
+
+    @property
+    def rounds(self) -> int:
+        """Number of communication rounds used."""
+        return self.metrics.rounds
+
+    @property
+    def diameter(self) -> int:
+        """The unanimous 2-or-4 verdict."""
+        values = {r.diameter for r in self.results.values()}
+        if len(values) != 1:
+            raise AssertionError("nodes disagree on the 2-vs-4 verdict")
+        return values.pop()
+
+    @property
+    def branch(self) -> str:
+        """Which branch ran: ``low-degree`` or ``sampled``."""
+        return next(iter(self.results.values())).branch
+
+
+class TwoVsFourNode(NodeAlgorithm):
+    """Per-node program of Algorithm 3."""
+
+    def program(self):
+        threshold = degree_threshold(self.n)
+        in_low = self.ctx.degree < threshold
+        tree = yield from build_bfs_tree(self, ROOT,
+                                         mark=1 if in_low else 0)
+        low_count = tree.marked_count
+        d0 = tree.diameter_bound
+
+        if low_count > 0:
+            # Line 1–3: some low-degree node exists; pick the smallest.
+            chosen = yield from aggregate_and_share(
+                self, tree,
+                self.uid if in_low else INFINITY,
+                combine_min,
+            )
+            branch = "low-degree"
+            in_s = (self.uid == chosen) or (chosen in self.neighbors)
+        else:
+            # Line 5: every degree ≥ s; sample ~√(n·log n) dominators.
+            probability = math.sqrt(
+                math.log2(max(2, self.n)) / self.n
+            )
+            branch = "sampled"
+            in_s = (self.uid == ROOT or
+                    self.ctx.rng.random() < probability)
+
+        size_s = yield from aggregate_and_share(
+            self, tree, 1 if in_s else 0, combine_sum
+        )
+        outcome = yield from ssp_main_loop(
+            self, in_s, size_s, size_s + d0 + 2
+        )
+        my_worst = max(outcome.distances.values())
+        worst = yield from aggregate_and_share(
+            self, tree, my_worst, combine_max
+        )
+        # Lines 8–12: all trees depth ≤ 2 → diameter 2, else 4.
+        verdict = 2 if worst <= 2 else 4
+        return TwoVsFourResult(
+            uid=self.uid,
+            diameter=verdict,
+            branch=branch,
+            source_count=size_s,
+        )
+
+
+def run_two_vs_four(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    bandwidth_bits: Optional[int] = None,
+) -> TwoVsFourSummary:
+    """Run Algorithm 3 on a graph promised to have diameter 2 or 4."""
+    validate_apsp_input(graph)
+    outcome = Network(
+        graph, TwoVsFourNode, seed=seed, bandwidth_bits=bandwidth_bits
+    ).run()
+    return TwoVsFourSummary(results=outcome.results,
+                            metrics=outcome.metrics)

@@ -1,0 +1,88 @@
+"""E1 + E16 — Theorem 1: APSP in Θ̃(n), congestion-free (Lemma 1)."""
+
+from __future__ import annotations
+
+from ..congest.network import default_bandwidth
+from ..core.apsp import run_apsp
+from ..graphs import (
+    erdos_renyi_graph,
+    path_graph,
+    random_tree,
+    torus_graph,
+)
+from .base import ExperimentResult, experiment, fit_loglog_slope
+
+SWEEPS = {"quick": [20, 40], "paper": [30, 60, 90, 120]}
+
+
+def families(n: int):
+    """The four topology families of the E1 sweep."""
+    side = max(3, round(n ** 0.5))
+    return {
+        "path": path_graph(n),
+        "tree": random_tree(n, seed=7),
+        "torus": torus_graph(side, max(3, n // side)),
+        "er(8/n)": erdos_renyi_graph(
+            n, min(1.0, 8.0 / n), seed=3, ensure_connected=True
+        ),
+    }
+
+
+@experiment("e1")
+def e1_apsp_linear(scale: str) -> ExperimentResult:
+    """E1: APSP rounds grow linearly in n (Theorem 1)."""
+    result = ExperimentResult(
+        exp_id="e1",
+        title="APSP rounds vs n (Thm 1 predicts linear)",
+        headers=["family", "n", "m", "rounds", "rounds/n"],
+    )
+    per_family = {}
+    for n in SWEEPS[scale]:
+        for family, graph in families(n).items():
+            summary = run_apsp(graph)
+            per_family.setdefault(family, []).append(
+                (graph.n, summary.rounds)
+            )
+            result.rows.append((
+                family, graph.n, graph.m, summary.rounds,
+                f"{summary.rounds / graph.n:.2f}",
+            ))
+    for family, points in per_family.items():
+        slope = fit_loglog_slope([n for n, _ in points],
+                                 [r for _, r in points])
+        result.notes.append(
+            f"{family}: rounds ~ n^{slope:.2f} (Theorem 1 predicts 1.0)"
+        )
+        result.require(f"slope-linear[{family}]", 0.6 <= slope <= 1.4)
+    return result
+
+
+@experiment("e16")
+def e16_congestion_free(scale: str) -> ExperimentResult:
+    """E16: no edge ever exceeds B (Lemma 1)."""
+    result = ExperimentResult(
+        exp_id="e16",
+        title="peak per-edge load under Algorithm 1 (Lemma 1)",
+        headers=["n", "B (bits)", "max edge bits/round",
+                 "max edge msgs/round"],
+    )
+    for n in SWEEPS[scale]:
+        graph = erdos_renyi_graph(
+            n, min(1.0, 8.0 / n), seed=3, ensure_connected=True
+        )
+        summary = run_apsp(graph)
+        budget = default_bandwidth(graph.n)
+        result.rows.append((
+            graph.n, budget,
+            summary.metrics.max_edge_bits_in_round,
+            summary.metrics.max_edge_messages_in_round,
+        ))
+        result.require(
+            "within-budget",
+            summary.metrics.max_edge_bits_in_round <= budget,
+        )
+    result.notes.append(
+        "every run stays within B — the pebble schedule is "
+        "congestion-free"
+    )
+    return result

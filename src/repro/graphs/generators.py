@@ -1,0 +1,322 @@
+"""Graph generators: the topology zoo used by tests and benchmarks.
+
+All generators return :class:`~repro.graphs.graph.Graph` instances with
+node ids ``1..n`` and are deterministic given their arguments (random
+families take an explicit ``seed``).  They are implemented from scratch —
+``networkx`` is used only in tests, as an independent oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Tuple
+
+from ..congest.errors import GraphError
+from .graph import Edge, Graph
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise GraphError(message)
+
+
+def path_graph(n: int) -> Graph:
+    """A path ``1 - 2 - ... - n`` (diameter ``n - 1``)."""
+    _require(n >= 1, "path_graph needs n >= 1")
+    return Graph(range(1, n + 1), [(i, i + 1) for i in range(1, n)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """A cycle on ``n >= 3`` nodes (diameter ``⌊n/2⌋``, girth ``n``)."""
+    _require(n >= 3, "cycle_graph needs n >= 3")
+    edges = [(i, i + 1) for i in range(1, n)] + [(n, 1)]
+    return Graph(range(1, n + 1), edges)
+
+
+def star_graph(n: int) -> Graph:
+    """A star: center 1 joined to leaves ``2..n`` (diameter 2)."""
+    _require(n >= 2, "star_graph needs n >= 2")
+    return Graph(range(1, n + 1), [(1, i) for i in range(2, n + 1)])
+
+
+def complete_graph(n: int) -> Graph:
+    """The clique on ``n`` nodes (diameter 1)."""
+    _require(n >= 1, "complete_graph needs n >= 1")
+    edges = [
+        (i, j) for i in range(1, n + 1) for j in range(i + 1, n + 1)
+    ]
+    return Graph(range(1, n + 1), edges)
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """``K_{a,b}`` with sides ``1..a`` and ``a+1..a+b`` (girth 4)."""
+    _require(a >= 1 and b >= 1, "complete_bipartite_graph needs a, b >= 1")
+    edges = [
+        (i, a + j) for i in range(1, a + 1) for j in range(1, b + 1)
+    ]
+    return Graph(range(1, a + b + 1), edges)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A ``rows × cols`` grid (diameter ``rows + cols - 2``)."""
+    _require(rows >= 1 and cols >= 1, "grid_graph needs rows, cols >= 1")
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c + 1
+
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((node(r, c), node(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((node(r, c), node(r + 1, c)))
+    return Graph(range(1, rows * cols + 1), edges)
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """A ``rows × cols`` torus (wrap-around grid).
+
+    Diameter ``⌊rows/2⌋ + ⌊cols/2⌋``; girth ``min(rows, cols, 4)`` for
+    ``rows, cols >= 3``.  Useful for sweeping the diameter at fixed ``n``
+    by changing the aspect ratio.
+    """
+    _require(rows >= 3 and cols >= 3, "torus_graph needs rows, cols >= 3")
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c + 1
+
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            edges.add(tuple(sorted((node(r, c), node(r, (c + 1) % cols)))))
+            edges.add(tuple(sorted((node(r, c), node((r + 1) % rows, c)))))
+    return Graph(range(1, rows * cols + 1), sorted(edges))
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """A complete ``branching``-ary tree of the given height (girth ∞)."""
+    _require(branching >= 1 and height >= 0,
+             "balanced_tree needs branching >= 1, height >= 0")
+    edges: List[Edge] = []
+    nodes = [1]
+    next_id = 2
+    frontier = [1]
+    for _ in range(height):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                edges.append((parent, next_id))
+                nodes.append(next_id)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return Graph(nodes, edges)
+
+
+def caterpillar_graph(spine: int, legs_per_node: int) -> Graph:
+    """A path of length ``spine`` with ``legs_per_node`` leaves per spine node."""
+    _require(spine >= 1 and legs_per_node >= 0,
+             "caterpillar_graph needs spine >= 1, legs_per_node >= 0")
+    edges = [(i, i + 1) for i in range(1, spine)]
+    next_id = spine + 1
+    for spine_node in range(1, spine + 1):
+        for _ in range(legs_per_node):
+            edges.append((spine_node, next_id))
+            next_id += 1
+    return Graph(range(1, next_id), edges)
+
+
+def lollipop_graph(clique: int, tail: int) -> Graph:
+    """A ``clique``-clique with a ``tail``-node path attached (girth 3).
+
+    Classic worst case for eccentricity-based estimators: the clique end
+    and the tail end see very different distance profiles.
+    """
+    _require(clique >= 3 and tail >= 0, "lollipop_graph needs clique >= 3")
+    graph = complete_graph(clique)
+    edges = list(graph.edges)
+    nodes = list(graph.nodes)
+    previous = clique
+    for offset in range(1, tail + 1):
+        node = clique + offset
+        edges.append((previous, node))
+        nodes.append(node)
+        previous = node
+    return Graph(nodes, edges)
+
+
+def barbell_graph(clique: int, bridge: int) -> Graph:
+    """Two ``clique``-cliques joined by a ``bridge``-node path."""
+    _require(clique >= 3 and bridge >= 0, "barbell_graph needs clique >= 3")
+    edges: List[Edge] = []
+    # First clique: 1..clique; second: clique+bridge+1 .. 2*clique+bridge.
+    second_start = clique + bridge
+    for i in range(1, clique + 1):
+        for j in range(i + 1, clique + 1):
+            edges.append((i, j))
+            edges.append((second_start + i, second_start + j))
+    chain = [clique] + [clique + k for k in range(1, bridge + 1)] + [second_start + 1]
+    for u, v in zip(chain, chain[1:]):
+        edges.append((u, v))
+    return Graph(range(1, 2 * clique + bridge + 1), edges)
+
+
+def circulant_graph(n: int, offsets: Iterable[int]) -> Graph:
+    """Circulant graph ``C_n(offsets)``; node ``i`` joins ``i ± k`` mod n.
+
+    With ``offsets = (1,)`` this is the cycle; larger offsets give graphs
+    with controlled girth for the girth benchmarks.
+    """
+    offsets = sorted(set(offsets))
+    _require(n >= 3, "circulant_graph needs n >= 3")
+    _require(all(1 <= k <= n // 2 for k in offsets),
+             "circulant offsets must lie in 1..n//2")
+    edges = set()
+    for i in range(n):
+        for k in offsets:
+            j = (i + k) % n
+            if i != j:
+                edges.add(tuple(sorted((i + 1, j + 1))))
+    return Graph(range(1, n + 1), sorted(edges))
+
+
+def erdos_renyi_graph(
+    n: int,
+    p: float,
+    *,
+    seed: int = 0,
+    ensure_connected: bool = False,
+) -> Graph:
+    """``G(n, p)`` random graph.
+
+    With ``ensure_connected`` a spanning random tree is added first, so
+    the result is always connected while keeping edge density close to
+    ``p`` (the standard trick for simulation workloads).
+    """
+    _require(n >= 1, "erdos_renyi_graph needs n >= 1")
+    _require(0.0 <= p <= 1.0, "edge probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    edges = set()
+    if ensure_connected and n > 1:
+        order = list(range(1, n + 1))
+        rng.shuffle(order)
+        for index in range(1, n):
+            attach = rng.randrange(index)
+            edges.add(tuple(sorted((order[index], order[attach]))))
+    for u in range(1, n + 1):
+        for v in range(u + 1, n + 1):
+            if rng.random() < p:
+                edges.add((u, v))
+    return Graph(range(1, n + 1), sorted(edges))
+
+
+def random_tree(n: int, *, seed: int = 0) -> Graph:
+    """A uniform random recursive tree on ``n`` nodes (girth ∞)."""
+    _require(n >= 1, "random_tree needs n >= 1")
+    rng = random.Random(seed)
+    edges = []
+    for node in range(2, n + 1):
+        edges.append((rng.randint(1, node - 1), node))
+    return Graph(range(1, n + 1), edges)
+
+
+def random_regular_graph(n: int, d: int, *, seed: int = 0) -> Graph:
+    """A random ``d``-regular simple graph via the pairing model.
+
+    Retries pairings until simple; for the moderate ``n·d`` used in this
+    package the expected number of retries is O(1).
+    """
+    _require(n >= 1 and d >= 0, "random_regular_graph needs n >= 1, d >= 0")
+    _require(n * d % 2 == 0, "n * d must be even")
+    _require(d < n, "degree must be below n")
+    rng = random.Random(seed)
+    for _ in range(1000):
+        stubs = [node for node in range(1, n + 1) for _ in range(d)]
+        rng.shuffle(stubs)
+        edges = set()
+        ok = True
+        for u, v in zip(stubs[::2], stubs[1::2]):
+            if u == v or tuple(sorted((u, v))) in edges:
+                ok = False
+                break
+            edges.add(tuple(sorted((u, v))))
+        if ok:
+            return Graph(range(1, n + 1), sorted(edges))
+    raise GraphError(
+        f"failed to sample a simple {d}-regular graph on {n} nodes"
+    )
+
+
+def dumbbell_with_path(side: int, path_len: int) -> Graph:
+    """Two cliques of ``side`` nodes joined by a path of ``path_len`` edges.
+
+    The workhorse for controlling diameter independently of ``n`` in the
+    approximation benchmarks: diameter is ``path_len + 2`` while most of
+    the mass sits in the cliques.
+    """
+    _require(side >= 2 and path_len >= 1,
+             "dumbbell_with_path needs side >= 2, path_len >= 1")
+    edges: List[Edge] = []
+    for i in range(1, side + 1):
+        for j in range(i + 1, side + 1):
+            edges.append((i, j))
+    second_start = side + path_len - 1
+    for i in range(1, side + 1):
+        for j in range(i + 1, side + 1):
+            edges.append((second_start + i, second_start + j))
+    chain = [1] + [side + k for k in range(1, path_len)] + [second_start + 1]
+    for u, v in zip(chain, chain[1:]):
+        edges.append((u, v))
+    return Graph(range(1, 2 * side + path_len - 1 + 1), edges)
+
+
+def diameter_two_random(n: int, *, seed: int = 0) -> Graph:
+    """A random dense graph guaranteed to have diameter exactly 2.
+
+    A hub node adjacent to everything enforces diameter ≤ 2; removing a
+    perfect matching among the non-hub nodes keeps it ≥ 2.  Input family
+    for the 2-vs-4 benchmarks.
+    """
+    _require(n >= 4, "diameter_two_random needs n >= 4")
+    rng = random.Random(seed)
+    edges = {(1, v) for v in range(2, n + 1)}
+    others = list(range(2, n + 1))
+    missing = set()
+    shuffled = others[:]
+    rng.shuffle(shuffled)
+    for u, v in zip(shuffled[::2], shuffled[1::2]):
+        missing.add(tuple(sorted((u, v))))
+    for index, u in enumerate(others):
+        for v in others[index + 1:]:
+            edge = (u, v)
+            if edge not in missing and rng.random() < 0.5:
+                edges.add(edge)
+    return Graph(range(1, n + 1), sorted(edges))
+
+
+def diameter_four_blobs(n: int, *, seed: int = 0) -> Graph:
+    """A graph of diameter exactly 4: two dense blobs joined via one relay.
+
+    Each blob is a clique of roughly ``(n - 1) / 2`` nodes plus a pendant
+    node attached to a single clique vertex; blob ↔ relay ↔ blob forces
+    distance 4 between the two pendants.  Input family for 2-vs-4.
+    """
+    _require(n >= 9, "diameter_four_blobs needs n >= 9")
+    blob = (n - 1) // 2
+    rest = n - 1 - blob
+    edges: List[Edge] = []
+    # Blob A: nodes 1..blob, clique; pendant is node 1 attached only to 2.
+    for i in range(2, blob + 1):
+        for j in range(i + 1, blob + 1):
+            edges.append((i, j))
+    edges.append((1, 2))
+    # Blob B: nodes blob+1..blob+rest; pendant is blob+1 attached to blob+2.
+    for i in range(blob + 2, blob + rest + 1):
+        for j in range(i + 1, blob + rest + 1):
+            edges.append((i, j))
+    edges.append((blob + 1, blob + 2))
+    # Relay node n joins one interior vertex of each blob.
+    edges.append((2, n))
+    edges.append((blob + 2, n))
+    return Graph(range(1, n + 1), edges)

@@ -1,0 +1,188 @@
+"""An immutable undirected, unweighted graph — the paper's network model.
+
+Nodes are positive integers (the paper assumes identifiers from
+``{1, ..., 2^O(log n)}`` with a node of smallest identifier acting as
+node 1).  The class validates its input once at construction and then
+exposes cheap read-only views, so simulations can share one instance
+freely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+
+from ..congest.errors import GraphError
+
+Edge = Tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Canonical (sorted) form of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """Undirected, unweighted, simple graph with integer node ids.
+
+    Parameters
+    ----------
+    nodes:
+        Iterable of node identifiers (positive ints).  Isolated nodes are
+        allowed at this layer; algorithms that need connectivity check it
+        themselves via :meth:`is_connected`.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops and duplicate edges are
+        rejected — the CONGEST model has at most one link per node pair.
+    """
+
+    __slots__ = ("_nodes", "_edges", "_adjacency")
+
+    def __init__(self, nodes: Iterable[int], edges: Iterable[Edge]) -> None:
+        node_list = sorted(set(nodes))
+        for node in node_list:
+            if not isinstance(node, int) or node < 1:
+                raise GraphError(f"node ids must be positive ints, got {node!r}")
+        node_set = set(node_list)
+        adjacency: Dict[int, List[int]] = {node: [] for node in node_list}
+        edge_set = set()
+        for u, v in edges:
+            if u == v:
+                raise GraphError(f"self-loop at node {u}")
+            if u not in node_set or v not in node_set:
+                raise GraphError(f"edge ({u}, {v}) references unknown node")
+            edge = normalize_edge(u, v)
+            if edge in edge_set:
+                raise GraphError(f"duplicate edge {edge}")
+            edge_set.add(edge)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        self._nodes: Tuple[int, ...] = tuple(node_list)
+        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
+        self._adjacency: Dict[int, Tuple[int, ...]] = {
+            node: tuple(sorted(neighbors))
+            for node, neighbors in adjacency.items()
+        }
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge]) -> "Graph":
+        """Build a graph whose node set is exactly the edge endpoints."""
+        edge_list = list(edges)
+        nodes = {u for u, _ in edge_list} | {v for _, v in edge_list}
+        return cls(nodes, edge_list)
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        """All node ids, ascending."""
+        return self._nodes
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges in canonical sorted form."""
+        return self._edges
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Neighbors of ``node``, ascending."""
+        try:
+            return self._adjacency[node]
+        except KeyError:
+            raise GraphError(f"unknown node {node}")
+
+    def degree(self, node: int) -> int:
+        """Number of edges incident to ``node``."""
+        return len(self.neighbors(node))
+
+    def has_node(self, node: int) -> bool:
+        """Whether ``node`` belongs to the graph."""
+        return node in self._adjacency
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        return v in set(self._adjacency.get(u, ()))
+
+    def min_node(self) -> int:
+        """Smallest node id — the paper's distinguished "node 1"."""
+        if not self._nodes:
+            raise GraphError("graph has no nodes")
+        return self._nodes[0]
+
+    # -- structure -----------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Whether every node is reachable from every other node."""
+        if self.n == 0:
+            return True
+        seen = {self._nodes[0]}
+        frontier = [self._nodes[0]]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return len(seen) == self.n
+
+    def directed_edges(self) -> Iterator[Edge]:
+        """Both orientations of every edge (the simulator's channels)."""
+        for u, v in self._edges:
+            yield (u, v)
+            yield (v, u)
+
+    def subgraph(self, keep: Iterable[int]) -> "Graph":
+        """The induced subgraph on ``keep``."""
+        keep_set = set(keep)
+        unknown = keep_set - set(self._nodes)
+        if unknown:
+            raise GraphError(f"subgraph references unknown nodes {sorted(unknown)}")
+        edges = [
+            (u, v) for u, v in self._edges if u in keep_set and v in keep_set
+        ]
+        return Graph(keep_set, edges)
+
+    def relabeled(self) -> Tuple["Graph", Dict[int, int]]:
+        """Relabel nodes to ``1..n``; returns the graph and old→new map."""
+        mapping = {old: index + 1 for index, old in enumerate(self._nodes)}
+        edges = [(mapping[u], mapping[v]) for u, v in self._edges]
+        return Graph(mapping.values(), edges), mapping
+
+    def union_disjoint(self, other: "Graph") -> "Graph":
+        """Disjoint union; node sets must not overlap."""
+        overlap = set(self._nodes) & set(other.nodes)
+        if overlap:
+            raise GraphError(f"union is not disjoint; shared nodes {sorted(overlap)}")
+        return Graph(
+            list(self._nodes) + list(other.nodes),
+            list(self._edges) + list(other.edges),
+        )
+
+    # -- dunder --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._nodes, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.m})"
+
+    def node_set(self) -> FrozenSet[int]:
+        """The node set as a frozenset (handy for cut computations)."""
+        return frozenset(self._nodes)

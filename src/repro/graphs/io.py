@@ -1,0 +1,75 @@
+"""Plain-text graph serialization (edge-list format).
+
+The format is line-oriented and diff-friendly::
+
+    # optional comments
+    n 7
+    1 2
+    2 3
+    ...
+
+The ``n`` header makes isolated nodes representable.  Round-trip safety
+is property-tested.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, TextIO, Tuple, Union
+
+from ..congest.errors import GraphError
+from .graph import Edge, Graph
+
+PathLike = Union[str, Path]
+
+
+def dumps(graph: Graph) -> str:
+    """Serialize ``graph`` to the edge-list text format."""
+    lines = [f"n {max(graph.nodes) if graph.nodes else 0}"]
+    isolated = [
+        node for node in graph.nodes if graph.degree(node) == 0
+    ]
+    for node in isolated:
+        lines.append(f"node {node}")
+    for u, v in graph.edges:
+        lines.append(f"{u} {v}")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Graph:
+    """Parse the edge-list text format back into a :class:`Graph`."""
+    nodes: List[int] = []
+    edges: List[Edge] = []
+    max_node = 0
+    for line_no, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "n" and len(parts) == 2:
+            max_node = int(parts[1])
+            continue
+        if parts[0] == "node" and len(parts) == 2:
+            nodes.append(int(parts[1]))
+            continue
+        if len(parts) != 2:
+            raise GraphError(f"line {line_no}: expected 'u v', got {line!r}")
+        u, v = int(parts[0]), int(parts[1])
+        edges.append((u, v))
+        nodes.extend((u, v))
+    if max_node:
+        # The header is informational; edges define the node set, plus
+        # explicitly listed isolated nodes.
+        pass
+    return Graph(set(nodes), edges)
+
+
+def save(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in the edge-list format."""
+    Path(path).write_text(dumps(graph), encoding="utf-8")
+
+
+def load(path: PathLike) -> Graph:
+    """Read a graph previously written by :func:`save`."""
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,488 @@
+"""Hard-instance graph families for the paper's lower bounds.
+
+A simulation cannot prove an Ω-bound (that would quantify over all
+algorithms), but it can build the *constructions* behind the bounds and
+demonstrate the information bottleneck they create.  This module provides
+bit-gadget families in the style of Frischknecht–Holzer–Wattenhofer
+(SODA'12 [22]) as used by Theorems 2, 6 and 8 of the PODC'12 paper:
+
+* :func:`diameter_2_vs_3` — an ``n ≈ 4p + 2`` node graph whose diameter
+  is 2 when two hidden sets ``x, y ⊆ [p] × [p]`` are disjoint and 3
+  otherwise (Theorem 6).  Alice's side encodes ``x`` (Θ(p²) bits), Bob's
+  side encodes ``y``, and only ``2p + 1`` edges cross between the sides —
+  so any algorithm that decides the diameter solves set disjointness on
+  ``p²`` elements across a Θ(p)-edge cut, which costs Ω(p² / (p·B)) =
+  Ω(n / B) rounds.
+
+* :func:`mirror_gadget` — a three-block mirror variant with diameter
+  3-vs-4 in which Alice's input appears twice (left and right blocks);
+  used to show that the Theorem 6 bottleneck survives structural
+  variation.
+
+* :func:`diameter_gap2_family` — the Theorem 2 demonstration family:
+  diameter exactly ``d`` when the hidden sets intersect and ``d + 2``
+  when they are disjoint, for any odd ``d = 2·ell + 3 >= 5``.  The gap
+  of 2 is what defeats a ``(+, 1)``-approximation (answers for ``d`` and
+  ``d + 2`` cannot overlap).  The paper's full-version construction
+  additionally packs Θ(n) input bits across an O(n/D)-width cut; this
+  reconstruction keeps the {d, d+2} *distance mechanics* faithful while
+  the bit-packing demonstration lives in :func:`diameter_2_vs_3` — see
+  DESIGN.md section 2.
+
+* :func:`girth3_two_bfs_family` — the Theorem 8 family: girth-3 graphs
+  on which computing all 2-BFS trees decides the same disjointness
+  instance (a 2-BFS tree misses a node iff the diameter exceeds 2).
+
+All constructions restrict the inputs to the standard *unique
+intersection promise* of set disjointness (``|x ∩ y| ≤ 1``), which the
+communication lower bound permits and which keeps the stretched family's
+diameter exactly in ``{6, 8}``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..congest.errors import GraphError
+from .graph import Edge, Graph
+
+#: An element of the disjointness universe: a pair ``(i, j)`` with 1-based
+#: indices in ``[p] × [p]``.
+PairElement = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """A hard-instance graph plus the metadata experiments need.
+
+    ``alice_side`` / ``bob_side`` partition (most of) the nodes so that
+    cut audits can measure how many bits crossed between the input
+    holders; ``cut_edges`` are exactly the edges joining the two sides.
+    """
+
+    graph: Graph
+    p: int
+    x: FrozenSet[PairElement]
+    y: FrozenSet[PairElement]
+    alice_side: FrozenSet[int]
+    bob_side: FrozenSet[int]
+    cut_edges: Tuple[Edge, ...]
+    #: The diameter this instance was constructed to have.
+    planted_diameter: int
+
+    @property
+    def disjoint(self) -> bool:
+        """Whether the hidden sets are disjoint (the low-diameter case)."""
+        return not (self.x & self.y)
+
+
+def _validate_instance(
+    p: int,
+    x: FrozenSet[PairElement],
+    y: FrozenSet[PairElement],
+) -> None:
+    if p < 2:
+        raise GraphError("gadget needs p >= 2")
+    universe_ok = all(
+        1 <= i <= p and 1 <= j <= p for (i, j) in itertools.chain(x, y)
+    )
+    if not universe_ok:
+        raise GraphError("set elements must be pairs in [p] x [p]")
+    if len(x & y) > 1:
+        raise GraphError(
+            "gadget families use the unique-intersection promise: |x & y| <= 1"
+        )
+
+
+def _clique_edges(nodes: List[int]) -> List[Edge]:
+    return [
+        (u, v)
+        for index, u in enumerate(nodes)
+        for v in nodes[index + 1:]
+    ]
+
+
+def random_disjointness_instance(
+    p: int,
+    *,
+    intersecting: bool,
+    density: float = 0.5,
+    seed: int = 0,
+) -> Tuple[FrozenSet[PairElement], FrozenSet[PairElement]]:
+    """Sample a promise set-disjointness instance over ``[p] × [p]``.
+
+    With ``intersecting`` the sets share exactly one element; otherwise
+    they are disjoint.  ``density`` controls how full each side's set is.
+    """
+    rng = random.Random(seed)
+    universe = [(i, j) for i in range(1, p + 1) for j in range(1, p + 1)]
+    x: Set[PairElement] = set()
+    y: Set[PairElement] = set()
+    for element in universe:
+        roll = rng.random()
+        if roll < density / 2:
+            x.add(element)
+        elif roll < density:
+            y.add(element)
+    if intersecting:
+        witness = rng.choice(universe)
+        x.add(witness)
+        y.add(witness)
+    else:
+        y -= x
+    return frozenset(x), frozenset(y)
+
+
+def diameter_2_vs_3(
+    p: int,
+    x: FrozenSet[PairElement],
+    y: FrozenSet[PairElement],
+) -> Gadget:
+    """The Theorem 6 family: diameter 2 iff ``x`` and ``y`` are disjoint.
+
+    Layout (``n = 4p + 2``):
+
+    * Alice: element nodes ``a_1..a_p``, ``a'_1..a'_p`` (two cliques), a
+      hub ``c_A`` adjacent to all of them; input edge ``a_i ~ a'_j`` iff
+      ``(i, j) ∉ x``.
+    * Bob: mirror image with ``b``, ``b'``, ``c_B`` and set ``y``.
+    * Cut: the matchings ``a_i ~ b_i``, ``a'_i ~ b'_i`` and ``c_A ~ c_B``
+      — exactly ``2p + 1`` edges.
+
+    ``d(a_i, b'_j) = 2`` iff ``(i, j) ∉ x`` (route via ``a'_j``) or
+    ``(i, j) ∉ y`` (route via ``b_i``); when ``(i, j) ∈ x ∩ y`` the only
+    short route is through the hubs, giving distance 3.
+    """
+    _validate_instance(p, x, y)
+    a = list(range(1, p + 1))
+    a_prime = list(range(p + 1, 2 * p + 1))
+    b = list(range(2 * p + 1, 3 * p + 1))
+    b_prime = list(range(3 * p + 1, 4 * p + 1))
+    c_a, c_b = 4 * p + 1, 4 * p + 2
+
+    edges: List[Edge] = []
+    for group in (a, a_prime, b, b_prime):
+        edges.extend(_clique_edges(group))
+    for node in a + a_prime:
+        edges.append((node, c_a))
+    for node in b + b_prime:
+        edges.append((node, c_b))
+    for i in range(1, p + 1):
+        for j in range(1, p + 1):
+            if (i, j) not in x:
+                edges.append((a[i - 1], a_prime[j - 1]))
+            if (i, j) not in y:
+                edges.append((b[i - 1], b_prime[j - 1]))
+    cut = (
+        [(a[i], b[i]) for i in range(p)]
+        + [(a_prime[i], b_prime[i]) for i in range(p)]
+        + [(c_a, c_b)]
+    )
+    edges.extend(cut)
+    graph = Graph(range(1, 4 * p + 3), edges)
+    return Gadget(
+        graph=graph,
+        p=p,
+        x=frozenset(x),
+        y=frozenset(y),
+        alice_side=frozenset(a + a_prime + [c_a]),
+        bob_side=frozenset(b + b_prime + [c_b]),
+        cut_edges=tuple(sorted(cut)),
+        planted_diameter=2 if not (x & y) else 3,
+    )
+
+
+def mirror_gadget(
+    p: int,
+    x: FrozenSet[PairElement],
+    y: FrozenSet[PairElement],
+) -> Gadget:
+    """Three-block mirror family: diameter 3 iff disjoint, else 4.
+
+    Alice holds two mirrored blocks (left and right) that both encode
+    ``x``; Bob's block in the middle encodes ``y``.  The hard pairs are
+    ``(al_i, ar'_j)``: every length-3 route needs either the ``x``-edge
+    on one of Alice's blocks or the ``y``-edge on Bob's block, so when
+    ``(i, j) ∈ x ∩ y`` the distance rises to 4 (via the hub chain
+    ``cL - cM - cR``).
+    """
+    _validate_instance(p, x, y)
+    al = list(range(1, p + 1))
+    al_prime = list(range(p + 1, 2 * p + 1))
+    ar = list(range(2 * p + 1, 3 * p + 1))
+    ar_prime = list(range(3 * p + 1, 4 * p + 1))
+    b = list(range(4 * p + 1, 5 * p + 1))
+    b_prime = list(range(5 * p + 1, 6 * p + 1))
+    c_l, c_m, c_r = 6 * p + 1, 6 * p + 2, 6 * p + 3
+
+    edges: List[Edge] = []
+    for group in (al, al_prime, ar, ar_prime, b, b_prime):
+        edges.extend(_clique_edges(group))
+    for node in al + al_prime:
+        edges.append((node, c_l))
+    for node in b + b_prime:
+        edges.append((node, c_m))
+    for node in ar + ar_prime:
+        edges.append((node, c_r))
+    for i in range(1, p + 1):
+        for j in range(1, p + 1):
+            if (i, j) not in x:
+                edges.append((al[i - 1], al_prime[j - 1]))
+                edges.append((ar[i - 1], ar_prime[j - 1]))
+            if (i, j) not in y:
+                edges.append((b[i - 1], b_prime[j - 1]))
+    left_cut = (
+        [(al[i], b[i]) for i in range(p)]
+        + [(al_prime[i], b_prime[i]) for i in range(p)]
+        + [(c_l, c_m)]
+    )
+    right_cut = (
+        [(b[i], ar[i]) for i in range(p)]
+        + [(b_prime[i], ar_prime[i]) for i in range(p)]
+        + [(c_m, c_r)]
+    )
+    edges.extend(left_cut)
+    edges.extend(right_cut)
+    graph = Graph(range(1, 6 * p + 4), edges)
+    return Gadget(
+        graph=graph,
+        p=p,
+        x=frozenset(x),
+        y=frozenset(y),
+        alice_side=frozenset(al + al_prime + [c_l]),
+        bob_side=frozenset(b + b_prime + [c_m]),
+        cut_edges=tuple(sorted(left_cut)),
+        planted_diameter=3 if not (x & y) else 4,
+    )
+
+
+def subdivide(graph: Graph, k: int) -> Graph:
+    """Replace every edge by a path of ``k`` edges.
+
+    Distances between original nodes scale exactly by ``k``.  New nodes
+    get ids above the original range, so original ids stay valid.
+    """
+    if k < 1:
+        raise GraphError("subdivision factor must be >= 1")
+    if k == 1:
+        return graph
+    edges: List[Edge] = []
+    next_id = max(graph.nodes) + 1
+    for u, v in graph.edges:
+        chain = [u]
+        for _ in range(k - 1):
+            chain.append(next_id)
+            next_id += 1
+        chain.append(v)
+        edges.extend(zip(chain, chain[1:]))
+    nodes = set(graph.nodes) | {n for e in edges for n in e}
+    return Graph(nodes, edges)
+
+
+@dataclass(frozen=True)
+class Gap2Gadget:
+    """A Theorem 2 instance: metadata for :func:`diameter_gap2_family`."""
+
+    graph: Graph
+    p: int
+    x_set: FrozenSet[int]
+    y_set: FrozenSet[int]
+    alice_side: FrozenSet[int]
+    bob_side: FrozenSet[int]
+    cut_edges: Tuple[Edge, ...]
+    #: The two far pendant endpoints realizing the diameter.
+    witness_pair: Tuple[int, int]
+    planted_diameter: int
+
+    @property
+    def intersecting(self) -> bool:
+        """Whether the hidden sets intersect (the *low*-diameter case)."""
+        return bool(self.x_set & self.y_set)
+
+
+def diameter_gap2_family(
+    p: int,
+    ell: int,
+    x_set: FrozenSet[int],
+    y_set: FrozenSet[int],
+) -> Gap2Gadget:
+    """Theorem 2 family: diameter ``d = 2·ell + 3`` iff the sets intersect,
+    and ``d + 2`` iff they are disjoint.
+
+    Layout: element nodes ``a_1..a_p`` (Alice) and ``b_1..b_p`` (Bob),
+    joined by the matching ``a_i ~ b_i``; hubs ``c_A ~ all a_i`` and
+    ``c_B ~ all b_i`` with ``c_A ~ c_B``.  A *probe* node ``α`` is
+    adjacent to exactly ``{a_i : i ∈ x_set}``; probe ``β`` to
+    ``{b_j : j ∈ y_set}``; each probe carries a pendant path of length
+    ``ell``.  Crucially there are **no cliques** among the element nodes
+    and the probes avoid the hubs, so
+
+    * ``d(α, β) = 3`` iff some ``i ∈ x_set ∩ y_set`` (route
+      ``α - a_i - b_i - β``);
+    * otherwise every route detours through a hub, giving
+      ``d(α, β) = 5`` (``α - a_i - c_A - a_j`` is the only way between
+      element nodes of Alice's side).
+
+    The pendant endpoints then realize diameter ``2·ell + d(α, β)``.
+    Requires nonempty ``x_set, y_set ⊆ [p]`` (the probe must attach) and
+    ``ell >= 2`` (so the probe pair dominates all other distances).
+    """
+    if p < 2:
+        raise GraphError("gap-2 family needs p >= 2")
+    if ell < 2:
+        raise GraphError("gap-2 family needs pendant length ell >= 2")
+    if not x_set or not y_set:
+        raise GraphError("gap-2 family needs nonempty probe sets")
+    if not all(1 <= i <= p for i in x_set | y_set):
+        raise GraphError("probe set elements must lie in 1..p")
+
+    a = list(range(1, p + 1))
+    b = list(range(p + 1, 2 * p + 1))
+    c_a, c_b = 2 * p + 1, 2 * p + 2
+    alpha, beta = 2 * p + 3, 2 * p + 4
+    next_id = 2 * p + 5
+
+    edges: List[Edge] = []
+    for i in range(p):
+        edges.append((a[i], c_a))
+        edges.append((b[i], c_b))
+        edges.append((a[i], b[i]))
+    edges.append((c_a, c_b))
+    for i in sorted(x_set):
+        edges.append((alpha, a[i - 1]))
+    for j in sorted(y_set):
+        edges.append((beta, b[j - 1]))
+
+    def pendant(anchor: int, length: int, start_id: int) -> Tuple[List[Edge], int, int]:
+        chain = [anchor] + list(range(start_id, start_id + length))
+        return list(zip(chain, chain[1:])), chain[-1], start_id + length
+
+    pend_a, end_a, next_id = pendant(alpha, ell, next_id)
+    pend_b, end_b, next_id = pendant(beta, ell, next_id)
+    edges.extend(pend_a)
+    edges.extend(pend_b)
+
+    graph = Graph(range(1, next_id), edges)
+    cut = [(a[i], b[i]) for i in range(p)] + [(c_a, c_b)]
+    intersecting = bool(x_set & y_set)
+    return Gap2Gadget(
+        graph=graph,
+        p=p,
+        x_set=frozenset(x_set),
+        y_set=frozenset(y_set),
+        alice_side=frozenset(a + [c_a, alpha] + [u for u, _ in pend_a] + [end_a]),
+        bob_side=frozenset(b + [c_b, beta] + [u for u, _ in pend_b] + [end_b]),
+        cut_edges=tuple(sorted(cut)),
+        witness_pair=(end_a, end_b),
+        planted_diameter=2 * ell + (3 if intersecting else 5),
+    )
+
+
+def random_membership_instance(
+    p: int,
+    *,
+    intersecting: bool,
+    density: float = 0.4,
+    seed: int = 0,
+) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+    """Sample nonempty ``x_set, y_set ⊆ [p]`` for the gap-2 family."""
+    rng = random.Random(seed)
+    x: Set[int] = {i for i in range(1, p + 1) if rng.random() < density}
+    y: Set[int] = {i for i in range(1, p + 1) if rng.random() < density}
+    if intersecting:
+        witness = rng.randint(1, p)
+        x.add(witness)
+        y.add(witness)
+    else:
+        y -= x
+        if not x:
+            x.add(1)
+            y.discard(1)
+        if not y:
+            candidates = [i for i in range(1, p + 1) if i not in x]
+            if not candidates:
+                x.discard(p)
+                candidates = [p]
+            y.add(rng.choice(candidates))
+    return frozenset(x), frozenset(y)
+
+
+def girth3_two_bfs_family(
+    p: int,
+    x: FrozenSet[PairElement],
+    y: FrozenSet[PairElement],
+) -> Gadget:
+    """The Theorem 8 family: girth 3, yet all-2-BFS-trees is hard.
+
+    This is the :func:`diameter_2_vs_3` graph viewed through a different
+    problem: every node's 2-BFS tree spans the whole graph iff the
+    diameter is 2, i.e. iff ``x ∩ y = ∅``.  The cliques on each element
+    group make the girth 3 regardless of the inputs (``p >= 3``).
+    """
+    if p < 3:
+        raise GraphError("girth-3 family needs p >= 3 (cliques give girth 3)")
+    return diameter_2_vs_3(p, x, y)
+
+
+def pad_with_path(gadget: Gadget, length: int) -> Gadget:
+    """Lemma 11's extension trick: "construct a graph by adding a path
+    of the desired length to one node in the graph".
+
+    A pendant path of ``length`` edges is attached to Alice's element
+    node ``a_1``, turning a diameter-{2,3} instance into a
+    diameter-{length+2, length+3} one: the pendant endpoint's distance
+    to Bob's ``b'_j`` is ``length + d(a_1, b'_j)``, which still decides
+    whether ``(1, j) ∈ x ∩ y``.  For the signal to survive, the unique
+    intersection witness (if any) must lie in row 1 of the universe —
+    enforced here.  This is how the Ω(n/B) bound extends to graphs of
+    larger diameter, and how (×,3/2−ε)-approximate APSP inherits it
+    (Lemma 11).
+    """
+    if length < 1:
+        raise GraphError("padding path needs length >= 1")
+    witness = gadget.x & gadget.y
+    if witness and next(iter(witness))[0] != 1:
+        raise GraphError(
+            "pad_with_path needs the intersection witness in row 1 "
+            "(element (1, j)) so the pendant pair still decides it"
+        )
+    graph = gadget.graph
+    anchor = 1                            # a_1 by construction
+    next_id = max(graph.nodes) + 1
+    chain = [anchor] + list(range(next_id, next_id + length))
+    edges = list(graph.edges) + list(zip(chain, chain[1:]))
+    nodes = list(graph.nodes) + chain[1:]
+    padded = Graph(nodes, edges)
+    return Gadget(
+        graph=padded,
+        p=gadget.p,
+        x=gadget.x,
+        y=gadget.y,
+        alice_side=gadget.alice_side | frozenset(chain[1:]),
+        bob_side=gadget.bob_side,
+        cut_edges=gadget.cut_edges,
+        planted_diameter=gadget.planted_diameter + length,
+    )
+
+
+def cut_width(gadget: Gadget) -> int:
+    """Number of edges crossing between Alice's and Bob's sides."""
+    return len(gadget.cut_edges)
+
+
+def input_bits(gadget: Gadget) -> int:
+    """Size in bits of each player's hidden input (the ``p²`` universe)."""
+    return gadget.p * gadget.p
+
+
+def communication_lower_bound_bits(gadget: Gadget) -> int:
+    """Bits that must cross the cut to decide disjointness.
+
+    Set disjointness on ``U`` elements needs Ω(U) bits of communication;
+    we report the universe size as the (constant-free) bound the
+    experiments compare measured cut traffic against.
+    """
+    return input_bits(gadget)

@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.graphs import (
+    Graph,
+    barbell_graph,
+    caterpillar_graph,
+    circulant_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+
+# Simulations are slow relative to hypothesis defaults; tune globally.
+settings.register_profile(
+    "sim",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("sim")
+
+
+def topology_zoo():
+    """The standard graph menagerie most algorithm tests run over.
+
+    Kept small enough that a full-APSP test over the whole zoo stays
+    fast, while covering trees, cycles, dense/sparse, low/high diameter
+    and odd/even girth.
+    """
+    return [
+        ("path12", path_graph(12)),
+        ("cycle9", cycle_graph(9)),
+        ("cycle10", cycle_graph(10)),
+        ("star9", star_graph(9)),
+        ("complete7", complete_graph(7)),
+        ("bipartite4x5", complete_bipartite_graph(4, 5)),
+        ("grid4x4", grid_graph(4, 4)),
+        ("torus4x5", torus_graph(4, 5)),
+        ("tree20", random_tree(20, seed=7)),
+        ("caterpillar", caterpillar_graph(6, 2)),
+        ("lollipop", lollipop_graph(5, 6)),
+        ("barbell", barbell_graph(4, 3)),
+        ("circulant", circulant_graph(14, [1, 4])),
+        ("er25", erdos_renyi_graph(25, 0.15, seed=3, ensure_connected=True)),
+        ("er25dense", erdos_renyi_graph(25, 0.4, seed=5, ensure_connected=True)),
+    ]
+
+
+@pytest.fixture(params=topology_zoo(), ids=lambda pair: pair[0])
+def zoo_graph(request) -> Graph:
+    """Parametrized fixture iterating over the topology zoo."""
+    return request.param[1]
+
+
+def random_connected_graph(n: int, seed: int) -> Graph:
+    """A small random connected graph (for hypothesis-driven tests)."""
+    rng = random.Random(seed)
+    p = rng.uniform(0.08, 0.5)
+    return erdos_renyi_graph(n, p, seed=seed, ensure_connected=True)

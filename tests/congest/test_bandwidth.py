@@ -1,0 +1,110 @@
+"""Unit tests for the bandwidth policies."""
+
+import pytest
+
+from repro.congest.bandwidth import (
+    SerializingPolicy,
+    StrictPolicy,
+    UnlimitedPolicy,
+    make_policy,
+)
+from repro.congest.errors import BandwidthExceededError
+from repro.congest.message import IdMessage, SizeModel, Token
+
+MODEL = SizeModel(100)
+EDGE = (1, 2)
+
+
+def msg_bits(message):
+    return message.size_bits(MODEL)
+
+
+class TestStrict:
+    def test_within_budget_delivers_all(self):
+        policy = StrictPolicy(100, MODEL)
+        staged = [Token(), IdMessage(uid=3)]
+        assert policy.admit(EDGE, staged, 1) == staged
+
+    def test_overflow_raises_with_details(self):
+        budget = msg_bits(IdMessage(uid=1)) + 1
+        policy = StrictPolicy(budget, MODEL)
+        staged = [IdMessage(uid=1), IdMessage(uid=2)]
+        with pytest.raises(BandwidthExceededError) as exc:
+            policy.admit(EDGE, staged, 7)
+        assert exc.value.sender == 1
+        assert exc.value.receiver == 2
+        assert exc.value.round_no == 7
+        assert exc.value.used_bits > exc.value.budget_bits
+
+    def test_no_backlog(self):
+        policy = StrictPolicy(100, MODEL)
+        policy.admit(EDGE, [Token()], 1)
+        assert not policy.has_backlog
+
+
+class TestUnlimited:
+    def test_everything_goes(self):
+        policy = UnlimitedPolicy(1, MODEL)
+        staged = [IdMessage(uid=i) for i in range(1, 50)]
+        assert policy.admit(EDGE, staged, 1) == staged
+
+
+class TestSerializing:
+    def test_fifo_order_preserved(self):
+        one = msg_bits(IdMessage(uid=1))
+        policy = SerializingPolicy(one, MODEL)  # one message per round
+        staged = [IdMessage(uid=i) for i in (1, 2, 3)]
+        assert policy.admit(EDGE, staged, 1) == [IdMessage(uid=1)]
+        assert policy.has_backlog
+        assert policy.drain(2) == {EDGE: [IdMessage(uid=2)]}
+        assert policy.drain(3) == {EDGE: [IdMessage(uid=3)]}
+        assert not policy.has_backlog
+
+    def test_batching_fills_budget(self):
+        one = msg_bits(IdMessage(uid=1))
+        policy = SerializingPolicy(2 * one, MODEL)
+        staged = [IdMessage(uid=i) for i in (1, 2, 3)]
+        assert policy.admit(EDGE, staged, 1) == [IdMessage(uid=1),
+                                                 IdMessage(uid=2)]
+        assert policy.drain(2) == {EDGE: [IdMessage(uid=3)]}
+
+    def test_oversized_message_streams_over_rounds(self):
+        # Budget of 3 bits; Token costs tag_bits (= 5) > 3.
+        bits = msg_bits(Token())
+        policy = SerializingPolicy(3, MODEL)
+        assert policy.admit(EDGE, [Token()], 1) == []
+        rounds_needed = -(-bits // 3)
+        delivered = []
+        for r in range(2, 2 + rounds_needed):
+            delivered.extend(policy.drain(r).get(EDGE, []))
+        assert delivered == [Token()]
+        assert not policy.has_backlog
+
+    def test_drain_excludes_just_serviced_edges(self):
+        one = msg_bits(IdMessage(uid=1))
+        policy = SerializingPolicy(one, MODEL)
+        policy.admit(EDGE, [IdMessage(uid=1), IdMessage(uid=2)], 1)
+        # The same round must not also drain EDGE.
+        assert policy.drain(1, exclude=frozenset({EDGE})) == {}
+        assert policy.drain(2) == {EDGE: [IdMessage(uid=2)]}
+
+    def test_independent_edges(self):
+        one = msg_bits(IdMessage(uid=1))
+        policy = SerializingPolicy(one, MODEL)
+        other = (3, 4)
+        policy.admit(EDGE, [IdMessage(uid=1), IdMessage(uid=2)], 1)
+        assert policy.admit(other, [IdMessage(uid=9)], 1) == [IdMessage(uid=9)]
+        assert policy.drain(2) == {EDGE: [IdMessage(uid=2)]}
+
+
+class TestFactory:
+    def test_make_policy_names(self):
+        assert isinstance(make_policy("strict", 10, MODEL), StrictPolicy)
+        assert isinstance(make_policy("serialize", 10, MODEL),
+                          SerializingPolicy)
+        assert isinstance(make_policy("unlimited", 10, MODEL),
+                          UnlimitedPolicy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("best-effort", 10, MODEL)

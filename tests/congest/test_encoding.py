@@ -1,0 +1,146 @@
+"""Round-trip tests for the binary wire format.
+
+These guarantee that the bit widths charged against the bandwidth
+budget correspond to an actually implementable encoding.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.congest.encoding import decode, encode
+from repro.congest.errors import EncodingError
+from repro.congest.message import (
+    INFINITY,
+    IdMessage,
+    SizeModel,
+    Token,
+    ValueMessage,
+)
+from repro.core.messages import (
+    BfsToken,
+    CensusMsg,
+    DomAnnounceMsg,
+    DominatorMsg,
+    DownMsg,
+    DvMsg,
+    EchoMsg,
+    EdgeMsg,
+    JoinMsg,
+    OfferMsg,
+    PebbleMsg,
+    SyncMsg,
+    UpMsg,
+)
+
+N = 200
+MODEL = SizeModel(N)
+
+ids = st.integers(min_value=1, max_value=N)
+dists = st.one_of(st.just(INFINITY), st.integers(min_value=0, max_value=N))
+counts = st.one_of(st.just(INFINITY), st.integers(min_value=0, max_value=N))
+rounds_ = st.one_of(st.just(INFINITY),
+                    st.integers(min_value=0, max_value=16 * N))
+
+
+def roundtrip(message):
+    word, width = encode(message, MODEL)
+    assert width == message.size_bits(MODEL)
+    back = decode(word, width, MODEL)
+    assert back == message
+    assert type(back) is type(message)
+
+
+@given(ids, dists)
+def test_bfs_token_roundtrip(root, dist):
+    roundtrip(BfsToken(root=root, dist=dist))
+
+
+@given(ids)
+def test_join_roundtrip(root):
+    roundtrip(JoinMsg(root=root))
+
+
+@given(ids, counts, counts)
+def test_echo_roundtrip(root, a, b):
+    roundtrip(EchoMsg(root=root, primary=a, secondary=b))
+
+
+@given(ids, counts, counts, rounds_)
+def test_sync_roundtrip(root, ecc, marked, start):
+    roundtrip(SyncMsg(root=root, ecc_root=ecc, marked=marked,
+                      start_round=start))
+
+
+@given(ids, rounds_)
+def test_up_down_roundtrip(root, value):
+    roundtrip(UpMsg(root=root, value=value))
+    roundtrip(DownMsg(root=root, value=value))
+
+
+@given(ids, dists)
+def test_offer_roundtrip(source, dist):
+    roundtrip(OfferMsg(source=source, dist=dist))
+
+
+@given(ids, dists)
+def test_dv_roundtrip(target, dist):
+    roundtrip(DvMsg(target=target, dist=dist))
+
+
+@given(ids, ids)
+def test_edge_roundtrip(u, v):
+    roundtrip(EdgeMsg(u=u, v=v))
+
+
+@given(ids, counts, counts)
+def test_census_roundtrip(root, wave, value):
+    roundtrip(CensusMsg(root=root, wave=wave, value=value))
+
+
+@given(ids, counts, counts)
+def test_dom_announce_roundtrip(root, residue, size):
+    roundtrip(DomAnnounceMsg(root=root, residue=residue, size=size))
+
+
+@given(ids)
+def test_dominator_roundtrip(dominator):
+    roundtrip(DominatorMsg(dominator=dominator))
+
+
+def test_token_like_roundtrips():
+    roundtrip(Token())
+    roundtrip(PebbleMsg())
+
+
+@given(ids)
+def test_id_value_roundtrips(uid):
+    roundtrip(IdMessage(uid=uid))
+    roundtrip(ValueMessage(uid))
+    roundtrip(ValueMessage(INFINITY))
+
+
+class TestMalformed:
+    def test_out_of_range_id_rejected(self):
+        # Beyond the field's bit capacity (ids are 8 bits for N = 200).
+        with pytest.raises(EncodingError):
+            encode(IdMessage(uid=2 * N), MODEL)
+
+    def test_negative_dist_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(BfsToken(root=1, dist=-7), MODEL)
+
+    def test_unknown_tag_rejected(self):
+        word, width = encode(Token(), MODEL)
+        bogus_tag = (1 << (width)) - 1
+        with pytest.raises(EncodingError):
+            decode(bogus_tag, width, MODEL)
+
+    def test_truncated_word_rejected(self):
+        word, width = encode(BfsToken(root=3, dist=2), MODEL)
+        with pytest.raises(EncodingError):
+            decode(word >> 3, width - 3, MODEL)
+
+    def test_negative_word_rejected(self):
+        with pytest.raises(EncodingError):
+            decode(-1, 8, MODEL)

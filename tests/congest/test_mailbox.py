@@ -1,0 +1,59 @@
+"""Unit tests for Inbox/Outbox containers."""
+
+from repro.congest.mailbox import Inbox, Outbox
+from repro.congest.message import IdMessage, Token, ValueMessage
+
+
+class TestOutbox:
+    def test_add_and_iterate_sorted_by_receiver(self):
+        outbox = Outbox()
+        outbox.add(5, Token())
+        outbox.add(2, IdMessage(uid=1))
+        outbox.add(5, ValueMessage(3))
+        items = list(outbox.items())
+        assert [receiver for receiver, _ in items] == [2, 5]
+        assert len(items[1][1]) == 2
+
+    def test_len_counts_messages(self):
+        outbox = Outbox()
+        assert len(outbox) == 0
+        outbox.add(1, Token())
+        outbox.add(1, Token())
+        assert len(outbox) == 2
+
+    def test_bool_and_clear(self):
+        outbox = Outbox()
+        assert not outbox
+        outbox.add(1, Token())
+        assert outbox
+        outbox.clear()
+        assert not outbox
+
+
+class TestInbox:
+    def test_empty_inbox(self):
+        assert not Inbox.EMPTY
+        assert len(Inbox.EMPTY) == 0
+        assert Inbox.EMPTY.senders() == ()
+        assert Inbox.EMPTY.from_neighbor(3) == ()
+
+    def test_items_deterministic_order(self):
+        inbox = Inbox({
+            7: (Token(), ValueMessage(1)),
+            2: (IdMessage(uid=9),),
+        })
+        senders = [sender for sender, _ in inbox.items()]
+        assert senders == [2, 7, 7]
+
+    def test_from_neighbor(self):
+        inbox = Inbox({4: (Token(),)})
+        assert inbox.from_neighbor(4) == (Token(),)
+        assert inbox.from_neighbor(5) == ()
+
+    def test_messages_flattened(self):
+        inbox = Inbox({1: (Token(),), 2: (ValueMessage(5),)})
+        assert inbox.messages() == [Token(), ValueMessage(5)]
+
+    def test_len(self):
+        inbox = Inbox({1: (Token(), Token()), 3: (Token(),)})
+        assert len(inbox) == 3

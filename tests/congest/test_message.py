@@ -1,0 +1,106 @@
+"""Unit tests for the message/field-width layer."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.congest.errors import EncodingError
+from repro.congest.message import (
+    INFINITY,
+    MESSAGE_REGISTRY,
+    IdMessage,
+    Message,
+    SizeModel,
+    Token,
+    ValueMessage,
+    message_tag,
+    tag_bits,
+)
+from repro.core.messages import BfsToken, OfferMsg, SyncMsg
+
+
+class TestSizeModel:
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_id_bits_cover_all_ids(self, n):
+        model = SizeModel(n)
+        assert (1 << model.id_bits) >= n + 1
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_dist_bits_cover_all_distances_plus_infinity(self, n):
+        model = SizeModel(n)
+        # n distances (0..n) plus the all-ones infinity code point.
+        assert (1 << model.dist_bits) >= n + 2
+
+    def test_widths_are_logarithmic(self):
+        assert SizeModel(1000).id_bits == 10
+        assert SizeModel(1024).id_bits == 11
+        assert SizeModel(2).id_bits == 2
+
+    def test_round_kind_is_wider_than_dist(self):
+        model = SizeModel(100)
+        assert model.width_of("round") == model.dist_bits + 4
+
+    def test_flag_kind_is_one_bit(self):
+        assert SizeModel(100).width_of("flag") == 1
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(EncodingError):
+            SizeModel(10).width_of("banana")
+
+
+class TestRegistry:
+    def test_all_registered_types_have_unique_tags(self):
+        tags = [message_tag(cls) for cls in MESSAGE_REGISTRY]
+        assert sorted(tags) == list(range(len(MESSAGE_REGISTRY)))
+
+    def test_tag_bits_cover_registry(self):
+        assert (1 << tag_bits()) >= len(MESSAGE_REGISTRY)
+
+    def test_unregistered_type_rejected(self):
+        class Rogue(Message):
+            pass
+
+        with pytest.raises(EncodingError):
+            message_tag(Rogue)
+
+    def test_field_specs_match_dataclass_fields(self):
+        for cls in MESSAGE_REGISTRY:
+            names = tuple(name for name, _ in cls.FIELDS)
+            import dataclasses
+
+            declared = tuple(f.name for f in dataclasses.fields(cls))
+            assert names == declared, cls.__name__
+
+
+class TestSizes:
+    def test_token_is_tag_only(self):
+        model = SizeModel(50)
+        assert Token().size_bits(model) == tag_bits()
+
+    def test_bfs_token_size(self):
+        model = SizeModel(1000)
+        expected = tag_bits() + model.id_bits + model.dist_bits
+        assert BfsToken(root=5, dist=3).size_bits(model) == expected
+
+    def test_offer_size_fits_default_bandwidth(self):
+        from repro.congest.network import default_bandwidth
+
+        for n in (4, 16, 100, 1000, 10000):
+            model = SizeModel(n)
+            assert OfferMsg(source=1, dist=0).size_bits(model) <= \
+                default_bandwidth(n)
+
+    def test_sizes_grow_logarithmically(self):
+        small = SizeModel(10)
+        big = SizeModel(10**6)
+        msg = SyncMsg(root=1, ecc_root=2, marked=3, start_round=4)
+        assert msg.size_bits(big) <= msg.size_bits(small) + 5 * (
+            big.id_bits - small.id_bits + 4
+        )
+
+    def test_field_values_in_spec_order(self):
+        assert BfsToken(root=7, dist=2).field_values() == (7, 2)
+        assert ValueMessage(INFINITY).field_values() == (INFINITY,)
+        assert IdMessage(uid=3).field_values() == (3,)

@@ -1,0 +1,45 @@
+"""Unit tests for RunMetrics."""
+
+import pytest
+
+from repro.congest.metrics import RunMetrics
+
+
+def test_record_round_accumulates():
+    metrics = RunMetrics()
+    metrics.record_round([((1, 2), 2, 30), ((2, 1), 1, 10)])
+    metrics.record_round([((1, 2), 1, 50)])
+    assert metrics.rounds == 2
+    assert metrics.messages_total == 4
+    assert metrics.bits_total == 90
+    assert metrics.messages_per_round == [3, 1]
+    assert metrics.bits_per_round == [40, 50]
+    assert metrics.max_edge_bits_in_round == 50
+    assert metrics.max_edge_messages_in_round == 2
+
+
+def test_edge_bits_tracking_optional():
+    metrics = RunMetrics(edge_bits={})
+    metrics.record_round([((1, 2), 1, 7), ((3, 4), 1, 5)])
+    metrics.record_round([((1, 2), 1, 3)])
+    assert metrics.edge_bits == {(1, 2): 10, (3, 4): 5}
+
+
+def test_cut_counts_both_directions():
+    metrics = RunMetrics(edge_bits={})
+    metrics.record_round([((1, 2), 1, 7), ((2, 1), 1, 5), ((2, 3), 1, 100)])
+    side_a = frozenset({1})
+    assert metrics.bits_across_cut(side_a) == 12
+
+
+def test_cut_requires_tracking():
+    metrics = RunMetrics()
+    with pytest.raises(ValueError):
+        metrics.bits_across_cut(frozenset({1}))
+
+
+def test_empty_round_recorded():
+    metrics = RunMetrics()
+    metrics.record_round([])
+    assert metrics.rounds == 1
+    assert metrics.messages_per_round == [0]

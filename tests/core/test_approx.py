@@ -1,0 +1,166 @@
+"""Tests for Theorem 4 / Corollary 4 / Remarks 1–2: every approximation
+guarantee is asserted against the exact oracle."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.congest import GraphError
+from repro.core.approx import (
+    remark2_center_peripheral,
+    run_approx_properties,
+    run_remark1,
+    smoothing_parameter,
+)
+from repro.graphs import (
+    all_eccentricities,
+    center,
+    diameter,
+    dumbbell_with_path,
+    path_graph,
+    peripheral_vertices,
+    radius,
+)
+from tests.conftest import random_connected_graph, topology_zoo
+
+EPSILONS = [0.5, 1.0]
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+@pytest.mark.parametrize("epsilon", EPSILONS)
+class TestTheorem4:
+    def test_eccentricity_sandwich(self, name, graph, epsilon):
+        """Theorem 4: ecc(v) ≤ est(v) ≤ (1+ε)·ecc(v)."""
+        summary = run_approx_properties(graph, epsilon)
+        eccs = all_eccentricities(graph)
+        for uid, estimate in summary.ecc_estimates().items():
+            assert eccs[uid] <= estimate <= (1 + epsilon) * eccs[uid]
+
+    def test_diameter_sandwich(self, name, graph, epsilon):
+        summary = run_approx_properties(graph, epsilon)
+        d = diameter(graph)
+        assert d <= summary.diameter_estimate <= (1 + epsilon) * d
+
+    def test_radius_sandwich(self, name, graph, epsilon):
+        summary = run_approx_properties(graph, epsilon)
+        r = radius(graph)
+        assert r <= summary.radius_estimate <= (1 + epsilon) * r
+
+    def test_center_superset(self, name, graph, epsilon):
+        """Set-approximation: the true center is always included."""
+        summary = run_approx_properties(graph, epsilon)
+        assert center(graph) <= summary.center_approx()
+
+    def test_center_members_near_optimal(self, name, graph, epsilon):
+        """Members cost at most rad + 2k (Definition 5 extension)."""
+        summary = run_approx_properties(graph, epsilon)
+        k = next(iter(summary.results.values())).k
+        eccs = all_eccentricities(graph)
+        r = radius(graph)
+        for uid in summary.center_approx():
+            assert eccs[uid] <= r + 2 * k
+
+    def test_peripheral_superset_and_quality(self, name, graph, epsilon):
+        summary = run_approx_properties(graph, epsilon)
+        assert peripheral_vertices(graph) <= summary.peripheral_approx()
+        k = next(iter(summary.results.values())).k
+        eccs = all_eccentricities(graph)
+        d = diameter(graph)
+        for uid in summary.peripheral_approx():
+            assert eccs[uid] >= d - 2 * k
+
+
+class TestSmoothingParameter:
+    def test_formula(self):
+        assert smoothing_parameter(0.5, 16) == 2
+        assert smoothing_parameter(1.0, 16) == 4
+        assert smoothing_parameter(0.5, 4) == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GraphError):
+            smoothing_parameter(0, 10)
+
+    def test_exact_fallback_used_on_shallow_graphs(self):
+        # Diameter 2 → k = 0 → exact path: estimates are exact.
+        from repro.graphs import star_graph
+
+        summary = run_approx_properties(star_graph(12), 0.5)
+        assert summary.ecc_estimates() == all_eccentricities(star_graph(12))
+        assert next(iter(summary.results.values())).k == 0
+
+    def test_sampling_path_used_on_deep_graphs(self):
+        summary = run_approx_properties(path_graph(40), 0.5)
+        assert next(iter(summary.results.values())).k >= 1
+
+    def test_epsilon_validated(self):
+        with pytest.raises(GraphError):
+            run_approx_properties(path_graph(5), -1.0)
+
+
+class TestComplexityShape:
+    def test_cheaper_than_apsp_at_intermediate_diameter(self):
+        """O(n/D + D) beats O(n) once D is neither tiny nor ~n.
+
+        (On a path D = n and both sides are Θ(n), so the win shows on
+        dumbbell graphs whose diameter is decoupled from n.)
+        """
+        from repro.core.apsp import run_apsp
+
+        graph = dumbbell_with_path(40, 12)
+        exact_rounds = run_apsp(graph).rounds
+        approx_rounds = run_approx_properties(graph, 1.0).rounds
+        assert approx_rounds < exact_rounds
+
+    def test_dom_size_shrinks_with_diameter(self):
+        sizes = []
+        for path_len in (8, 16, 32):
+            graph = dumbbell_with_path(6, path_len)
+            summary = run_approx_properties(graph, 1.0)
+            sizes.append(next(iter(summary.results.values())).dom_size)
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+class TestRemark1:
+    def test_diameter_factor_two(self, name, graph):
+        results, _ = run_remark1(graph)
+        d = diameter(graph)
+        estimate = next(iter(results.values())).diameter_estimate
+        assert d <= estimate <= 2 * d
+
+    def test_radius_factor_two(self, name, graph):
+        results, _ = run_remark1(graph)
+        r = radius(graph)
+        estimate = next(iter(results.values())).radius_estimate
+        assert r <= estimate <= 2 * r
+
+    def test_eccentricity_factor_three(self, name, graph):
+        results, _ = run_remark1(graph)
+        eccs = all_eccentricities(graph)
+        for uid, result in results.items():
+            assert eccs[uid] <= result.ecc_estimate <= 3 * eccs[uid]
+
+    def test_runs_in_o_d(self, name, graph):
+        _, metrics = run_remark1(graph)
+        ecc1 = all_eccentricities(graph)[1]
+        assert metrics.rounds <= 4 * max(1, ecc1) + 10
+
+
+class TestRemark2:
+    def test_all_nodes_answer(self):
+        graph = path_graph(7)
+        answer = remark2_center_peripheral(graph)
+        assert answer == frozenset(graph.nodes)
+        # Contains both true sets (the set-approximation requirement).
+        assert center(graph) <= answer
+        assert peripheral_vertices(graph) <= answer
+
+
+@given(st.integers(min_value=2, max_value=16),
+       st.integers(min_value=0, max_value=10**6))
+def test_theorem4_guarantee_on_random_graphs(n, seed):
+    graph = random_connected_graph(n, seed)
+    summary = run_approx_properties(graph, 0.75)
+    eccs = all_eccentricities(graph)
+    for uid, estimate in summary.ecc_estimates().items():
+        assert eccs[uid] <= estimate <= 1.75 * eccs[uid]

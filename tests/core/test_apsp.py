@@ -1,0 +1,148 @@
+"""Tests for Algorithm 1 (APSP): correctness, round bound, Lemma 1."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.congest import GraphError, Network
+from repro.core.apsp import ApspGirthNode, ApspNode, run_apsp
+from repro.graphs import (
+    Graph,
+    all_eccentricities,
+    all_pairs_distances,
+    bfs_distances,
+    diameter,
+    path_graph,
+)
+from tests.conftest import random_connected_graph, topology_zoo
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+class TestCorrectness:
+    def test_distances_match_oracle(self, name, graph):
+        summary = run_apsp(graph)
+        oracle = all_pairs_distances(graph)
+        for uid in graph.nodes:
+            assert dict(summary.results[uid].distances) == oracle[uid]
+
+    def test_parents_encode_shortest_path_trees(self, name, graph):
+        summary = run_apsp(graph)
+        for uid in graph.nodes:
+            result = summary.results[uid]
+            for target, parent in result.parents.items():
+                if target == uid:
+                    assert parent is None
+                    continue
+                # Remark 4: the parent is a neighbor one step closer to
+                # the target — the routing-table next hop.
+                assert graph.has_edge(uid, parent)
+                assert summary.distance(parent, target) == \
+                    summary.distance(uid, target) - 1
+
+    def test_next_hop_routes_reach_target(self, name, graph):
+        summary = run_apsp(graph)
+        for source in list(graph.nodes)[:5]:
+            for target in graph.nodes:
+                hops = 0
+                current = source
+                while current != target:
+                    current = summary.results[current].next_hop(target)
+                    hops += 1
+                assert hops == summary.distance(source, target)
+
+    def test_eccentricities_derive_locally(self, name, graph):
+        summary = run_apsp(graph)
+        assert summary.eccentricities() == all_eccentricities(graph)
+        assert summary.diameter() == diameter(graph)
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+class TestComplexity:
+    def test_linear_round_bound(self, name, graph):
+        """Theorem 1: O(n).  Concretely ≤ 3n + 8·ecc(1) + c here."""
+        summary = run_apsp(graph)
+        ecc1 = all_eccentricities(graph)[1]
+        assert summary.rounds <= 3 * graph.n + 8 * max(1, ecc1) + 12
+
+    def test_strict_bandwidth_respected(self, name, graph):
+        """Lemma 1's consequence: runs clean under the strict policy
+        (an over-budget edge would have raised)."""
+        network = Network(graph, ApspNode)
+        network.run()
+        assert network.metrics.max_edge_bits_in_round <= \
+            network.bandwidth_bits
+
+
+class Lemma1Probe(ApspNode):
+    """APSP node that returns its Lemma 1 violation count."""
+
+    def make_result(self):
+        return self.lemma1_violations
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+def test_lemma1_no_node_forwards_two_waves(name, graph):
+    outcome = Network(graph, Lemma1Probe).run()
+    assert set(outcome.results.values()) == {0}
+
+
+@given(st.integers(min_value=2, max_value=22),
+       st.integers(min_value=0, max_value=10**6))
+def test_apsp_matches_oracle_on_random_graphs(n, seed):
+    graph = random_connected_graph(n, seed)
+    summary = run_apsp(graph)
+    oracle = all_pairs_distances(graph)
+    for uid in graph.nodes:
+        assert dict(summary.results[uid].distances) == oracle[uid]
+
+
+@given(st.integers(min_value=2, max_value=20),
+       st.integers(min_value=0, max_value=10**6))
+def test_lemma1_invariant_on_random_graphs(n, seed):
+    graph = random_connected_graph(n, seed)
+    outcome = Network(graph, Lemma1Probe).run()
+    assert set(outcome.results.values()) == {0}
+
+
+class TestValidation:
+    def test_requires_node_one(self):
+        with pytest.raises(GraphError):
+            run_apsp(Graph([2, 3], [(2, 3)]))
+
+    def test_requires_connectivity(self):
+        with pytest.raises(GraphError):
+            run_apsp(Graph([1, 2, 3], [(1, 2)]))
+
+    def test_single_node(self):
+        summary = run_apsp(Graph([1], []))
+        assert dict(summary.results[1].distances) == {1: 0}
+
+
+class TestGirthBookkeeping:
+    def test_off_by_default(self):
+        summary = run_apsp(path_graph(5))
+        assert summary.results[1].girth_candidate is None
+
+    def test_candidates_never_below_girth(self):
+        from repro.graphs import girth, lollipop_graph
+
+        graph = lollipop_graph(5, 3)
+        summary = run_apsp(graph, collect_girth=True)
+        g = girth(graph)
+        for result in summary.results.values():
+            if result.girth_candidate is not None:
+                assert result.girth_candidate >= g
+
+    def test_minimum_candidate_equals_girth(self):
+        from repro.graphs import girth
+
+        for seed in range(5):
+            graph = random_connected_graph(18, seed)
+            summary = run_apsp(graph, collect_girth=True)
+            candidates = [
+                r.girth_candidate for r in summary.results.values()
+                if r.girth_candidate is not None
+            ]
+            want = girth(graph)
+            got = min(candidates) if candidates else float("inf")
+            assert got == want

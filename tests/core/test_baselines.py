@@ -1,0 +1,98 @@
+"""Tests for the Section 3.1 baselines: correct, but superlinear."""
+
+import pytest
+
+from repro.congest import GraphError
+from repro.core.apsp import run_apsp
+from repro.core.baselines import run_baseline_apsp
+from repro.graphs import (
+    Graph,
+    all_pairs_distances,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+)
+from tests.conftest import random_connected_graph
+
+ALGORITHMS = [
+    "sequential-bfs",
+    "distance-vector",
+    "distance-vector-delta",
+    "link-state",
+]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestCorrectness:
+    def test_grid(self, algorithm):
+        graph = grid_graph(4, 4)
+        summary = run_baseline_apsp(graph, algorithm)
+        oracle = all_pairs_distances(graph)
+        for uid in graph.nodes:
+            assert dict(summary.results[uid].distances) == oracle[uid]
+
+    def test_path(self, algorithm):
+        graph = path_graph(12)
+        summary = run_baseline_apsp(graph, algorithm)
+        oracle = all_pairs_distances(graph)
+        for uid in graph.nodes:
+            assert dict(summary.results[uid].distances) == oracle[uid]
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random(self, algorithm, seed):
+        graph = random_connected_graph(18, seed)
+        summary = run_baseline_apsp(graph, algorithm)
+        oracle = all_pairs_distances(graph)
+        for uid in graph.nodes:
+            assert dict(summary.results[uid].distances) == oracle[uid]
+
+
+class TestComplexityContrast:
+    def test_sequential_bfs_is_n_times_d(self):
+        """The unmodified textbook schedule costs Θ(n·D)."""
+        graph = path_graph(20)
+        baseline = run_baseline_apsp(graph, "sequential-bfs")
+        ours = run_apsp(graph)
+        assert baseline.rounds > 5 * ours.rounds
+
+    def test_link_state_superlinear_on_dense_graphs(self):
+        """Flooding Θ(n²) edges through B-bit links beats n by a lot."""
+        graph = erdos_renyi_graph(40, 0.5, seed=3, ensure_connected=True)
+        baseline = run_baseline_apsp(graph, "link-state")
+        ours = run_apsp(graph)
+        assert baseline.rounds > ours.rounds
+
+    def test_periodic_dv_superlinear_on_deep_graphs(self):
+        """RIP-style periodic advertisement pays Θ(n/B) latency per hop,
+        so Θ(n·D/B) total — clearly superlinear on a path."""
+        graph = path_graph(40)
+        ours = run_apsp(graph).rounds
+        naive = run_baseline_apsp(graph, "distance-vector").rounds
+        assert naive > 2.5 * ours
+
+    def test_delta_dv_is_competitive(self):
+        """Ablation: the event-driven variant pipelines and is linear —
+        the superlinearity is a property of the periodic protocol, not
+        of distance vectors per se."""
+        graph = path_graph(40)
+        naive = run_baseline_apsp(graph, "distance-vector").rounds
+        delta = run_baseline_apsp(graph, "distance-vector-delta").rounds
+        assert delta < naive / 2
+
+
+class TestValidation:
+    def test_unknown_baseline(self):
+        with pytest.raises(GraphError):
+            run_baseline_apsp(path_graph(4), "carrier-pigeon")
+
+    def test_sequential_needs_dense_ids(self):
+        graph = Graph([1, 2, 5], [(1, 2), (2, 5)])
+        with pytest.raises(GraphError):
+            run_baseline_apsp(graph, "sequential-bfs")
+
+    def test_other_baselines_accept_sparse_ids(self):
+        graph = Graph([1, 2, 5], [(1, 2), (2, 5)])
+        summary = run_baseline_apsp(graph, "distance-vector")
+        oracle = all_pairs_distances(graph)
+        for uid in graph.nodes:
+            assert dict(summary.results[uid].distances) == oracle[uid]

@@ -1,0 +1,122 @@
+"""Tests for the standalone BFS primitives (Claim 1, Definition 7,
+Section 8)."""
+
+import random
+
+import pytest
+
+from repro.core.bfs import (
+    run_all_two_bfs,
+    run_bfs,
+    run_k_bfs,
+    run_tree_check,
+)
+from repro.graphs import (
+    all_eccentricities,
+    bfs_distances,
+    cycle_graph,
+    diameter,
+    diameter_2_vs_3,
+    girth3_two_bfs_family,
+    grid_graph,
+    k_neighborhood,
+    path_graph,
+    random_disjointness_instance,
+    random_tree,
+    star_graph,
+)
+from tests.conftest import random_connected_graph, topology_zoo
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+class TestSingleBfs:
+    def test_depths(self, name, graph):
+        results, _ = run_bfs(graph)
+        oracle = bfs_distances(graph, 1)
+        assert {u: r.depth for u, r in results.items()} == oracle
+
+    def test_ecc_root_shared(self, name, graph):
+        results, _ = run_bfs(graph)
+        assert {r.ecc_root for r in results.values()} == \
+            {all_eccentricities(graph)[1]}
+
+
+class TestTreeCheck:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_trees_pass(self, seed):
+        verdict, _ = run_tree_check(random_tree(15, seed=seed))
+        assert verdict
+
+    def test_path_passes(self):
+        verdict, _ = run_tree_check(path_graph(10))
+        assert verdict
+
+    def test_star_passes(self):
+        verdict, _ = run_tree_check(star_graph(9))
+        assert verdict
+
+    @pytest.mark.parametrize("make", [
+        lambda: cycle_graph(4),
+        lambda: cycle_graph(11),
+        lambda: grid_graph(3, 3),
+    ])
+    def test_cyclic_graphs_fail(self, make):
+        verdict, _ = run_tree_check(make())
+        assert not verdict
+
+    def test_runs_in_o_d(self):
+        graph = path_graph(30)
+        _, metrics = run_tree_check(graph)
+        assert metrics.rounds <= 8 * 29 + 20  # O(D) with D = 29
+
+
+class TestKBfs:
+    @pytest.mark.parametrize("k", [0, 1, 2, 4])
+    def test_truncated_tables(self, k):
+        rng = random.Random(k)
+        graph = random_connected_graph(20, seed=5)
+        sources = rng.sample(list(graph.nodes), 4)
+        results, _ = run_k_bfs(graph, sources, k)
+        for uid, result in results.items():
+            want = {
+                s: bfs_distances(graph, s)[uid]
+                for s in sources
+                if bfs_distances(graph, s)[uid] <= k
+            }
+            assert dict(result.distances) == want
+
+    def test_k_zero_only_self(self):
+        graph = path_graph(5)
+        results, _ = run_k_bfs(graph, [3], 0)
+        assert dict(results[3].distances) == {3: 0}
+        assert dict(results[1].distances) == {}
+
+
+class TestAllTwoBfs:
+    def test_neighborhoods_on_zoo_sample(self):
+        for _, graph in [("grid", grid_graph(3, 4)),
+                         ("cycle", cycle_graph(8))]:
+            results, _ = run_all_two_bfs(graph)
+            for uid, result in results.items():
+                assert result.two_neighborhood == \
+                    k_neighborhood(graph, uid, 2)
+
+    @pytest.mark.parametrize("intersecting", [True, False])
+    def test_verdict_decides_diameter_2_vs_3(self, intersecting):
+        """The Theorem 8 reduction: trees complete ⟺ diameter ≤ 2."""
+        x, y = random_disjointness_instance(
+            4, intersecting=intersecting, seed=11
+        )
+        gadget = girth3_two_bfs_family(4, x, y)
+        results, _ = run_all_two_bfs(gadget.graph)
+        verdict = next(iter(results.values())).all_trees_complete
+        assert verdict == (diameter(gadget.graph) <= 2)
+
+    def test_rounds_scale_with_bandwidth(self):
+        """Halving B roughly doubles the streaming time — the Θ(n/B)
+        bottleneck of Theorem 8."""
+        x, y = random_disjointness_instance(6, intersecting=False, seed=2)
+        gadget = diameter_2_vs_3(6, x, y)
+        _, wide = run_all_two_bfs(gadget.graph, bandwidth_bits=256)
+        _, narrow = run_all_two_bfs(gadget.graph, bandwidth_bits=64)
+        assert narrow.rounds > wide.rounds

@@ -1,0 +1,82 @@
+"""Tests for the Lemma 10 k-dominating-set construction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.congest import GraphError
+from repro.core.dominating import run_dominating_set
+from repro.graphs import (
+    all_eccentricities,
+    bfs_distances,
+    is_k_dominating_set,
+    path_graph,
+    star_graph,
+)
+from tests.conftest import random_connected_graph, topology_zoo
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+@pytest.mark.parametrize("k", [1, 3])
+class TestProperties:
+    def test_is_dominating(self, name, graph, k):
+        infos, _ = run_dominating_set(graph, k)
+        dom = {u for u, info in infos.items() if info.in_dom}
+        assert is_k_dominating_set(graph, dom, k)
+
+    def test_size_bound(self, name, graph, k):
+        """Lemma 10 flavour: |DOM| ≤ 1 + ⌊n/(k+1)⌋."""
+        infos, _ = run_dominating_set(graph, k)
+        dom = {u for u, info in infos.items() if info.in_dom}
+        assert len(dom) <= 1 + graph.n // (k + 1)
+
+    def test_size_agreed_and_correct(self, name, graph, k):
+        infos, _ = run_dominating_set(graph, k)
+        dom = {u for u, info in infos.items() if info.in_dom}
+        assert {info.size for info in infos.values()} == {len(dom)}
+
+    def test_dominator_assignment(self, name, graph, k):
+        """Definition 9's partition: every node within k of its own
+        dominator, which is a DOM member (itself if in DOM)."""
+        infos, _ = run_dominating_set(graph, k)
+        dom = {u for u, info in infos.items() if info.in_dom}
+        for uid, info in infos.items():
+            assert info.dominator in dom
+            if info.in_dom:
+                assert info.dominator == uid
+            assert bfs_distances(graph, uid)[info.dominator] <= k
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("k", [1, 2, 5, 10])
+    def test_rounds_linear_in_d_plus_k(self, k):
+        graph = path_graph(30)
+        infos, metrics = run_dominating_set(graph, k)
+        ecc1 = all_eccentricities(graph)[1]
+        assert metrics.rounds <= 8 * ecc1 + 3 * k + 30
+
+    def test_root_always_in_dom(self):
+        infos, _ = run_dominating_set(path_graph(10), 2)
+        assert infos[1].in_dom
+
+    def test_star_k1_is_tiny(self):
+        infos, _ = run_dominating_set(star_graph(20), 1)
+        dom = {u for u, info in infos.items() if info.in_dom}
+        assert dom == {1}
+
+
+class TestValidation:
+    def test_k_must_be_positive(self):
+        with pytest.raises(GraphError):
+            run_dominating_set(path_graph(5), 0)
+
+
+@given(st.integers(min_value=2, max_value=20),
+       st.integers(min_value=0, max_value=10**6),
+       st.integers(min_value=1, max_value=6))
+def test_domination_on_random_graphs(n, seed, k):
+    graph = random_connected_graph(n, seed)
+    infos, _ = run_dominating_set(graph, k)
+    dom = {u for u, info in infos.items() if info.in_dom}
+    assert is_k_dominating_set(graph, dom, k)
+    assert len(dom) <= 1 + n // (k + 1)

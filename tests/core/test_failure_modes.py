@@ -1,0 +1,88 @@
+"""Failure-injection tests: broken assumptions must fail loudly.
+
+The CONGEST model is synchronous and reliable, so "failures" here are
+violated *assumptions* — undersized bandwidth, disconnected inputs,
+missing node 1, bad parameters — each of which must produce a specific
+exception rather than a silent wrong answer.
+"""
+
+import pytest
+
+from repro.congest import (
+    BandwidthExceededError,
+    GraphError,
+    RoundLimitExceededError,
+)
+from repro.core import (
+    run_approx_girth,
+    run_approx_properties,
+    run_apsp,
+    run_graph_properties,
+    run_ssp,
+)
+from repro.graphs import Graph, grid_graph, path_graph
+
+
+class TestUndersizedBandwidth:
+    """The paper's algorithms need B large enough for one message
+    bundle; below that the strict policy must abort the run."""
+
+    def test_apsp_aborts_below_minimum_budget(self):
+        with pytest.raises(BandwidthExceededError):
+            run_apsp(grid_graph(3, 3), bandwidth_bits=8)
+
+    def test_ssp_aborts_below_minimum_budget(self):
+        with pytest.raises(BandwidthExceededError):
+            run_ssp(grid_graph(3, 3), [1, 5], bandwidth_bits=8)
+
+    def test_generous_budget_changes_nothing(self):
+        """Extra bandwidth must not change results or round counts —
+        the algorithms never use more than their O(log n) bundles."""
+        graph = grid_graph(3, 4)
+        tight = run_apsp(graph)
+        roomy = run_apsp(graph, bandwidth_bits=4096)
+        assert tight.rounds == roomy.rounds
+        for uid in graph.nodes:
+            assert dict(tight.results[uid].distances) == \
+                dict(roomy.results[uid].distances)
+
+
+class TestStructuralAssumptions:
+    def test_disconnected_input_rejected_everywhere(self):
+        broken = Graph([1, 2, 3, 4], [(1, 2), (3, 4)])
+        for runner in (
+            lambda: run_apsp(broken),
+            lambda: run_ssp(broken, [1]),
+            lambda: run_graph_properties(broken),
+            lambda: run_approx_properties(broken, 0.5),
+            lambda: run_approx_girth(broken, 0.5),
+        ):
+            with pytest.raises(GraphError):
+                runner()
+
+    def test_missing_node_one_rejected(self):
+        shifted = Graph([2, 3, 4], [(2, 3), (3, 4)])
+        with pytest.raises(GraphError):
+            run_apsp(shifted)
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(GraphError):
+            run_approx_properties(path_graph(5), 0.0)
+        with pytest.raises(GraphError):
+            run_approx_girth(path_graph(5), -0.5)
+
+
+class TestRunawayProtection:
+    def test_round_limit_is_a_hard_stop(self):
+        from repro.congest import Network, NodeAlgorithm
+
+        class Spin(NodeAlgorithm):
+            def program(self):
+                while True:
+                    yield
+
+        network = Network(path_graph(3), Spin, max_rounds=25)
+        with pytest.raises(RoundLimitExceededError) as exc:
+            network.run()
+        assert exc.value.unfinished == 3
+        assert exc.value.max_rounds == 25

@@ -1,0 +1,107 @@
+"""Cross-algorithm integration tests.
+
+Different algorithms computing overlapping quantities must agree with
+each other (not just with the oracle), every runner must be
+deterministic under a fixed seed, and every paper algorithm must stay
+within the strict bandwidth budget on every edge of every round.
+"""
+
+import pytest
+
+from repro.congest import Network, default_bandwidth
+from repro.core import (
+    run_approx_properties,
+    run_apsp,
+    run_graph_properties,
+    run_remark1,
+    run_ssp,
+)
+from repro.core.apsp import ApspGirthNode
+from repro.core.approx import ApproxEccNode
+from repro.core.dominating import DominatingSetNode
+from repro.core.girth import GirthApproxNode
+from repro.core.ssp import SspNode
+from repro.core.two_vs_four import TwoVsFourNode
+from repro.graphs import diameter_two_random, grid_graph
+from tests.conftest import topology_zoo
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+class TestCrossAlgorithmAgreement:
+    def test_apsp_equals_ssp_with_all_sources(self, name, graph):
+        apsp = run_apsp(graph)
+        ssp = run_ssp(graph, graph.nodes)
+        for uid in graph.nodes:
+            assert dict(apsp.results[uid].distances) == \
+                dict(ssp.results[uid].distances)
+
+    def test_properties_agree_with_apsp_aggregates(self, name, graph):
+        apsp = run_apsp(graph)
+        props = run_graph_properties(graph, include_girth=False)
+        assert props.diameter == apsp.diameter()
+        assert props.radius == apsp.radius()
+        assert props.eccentricities() == apsp.eccentricities()
+
+    def test_approx_brackets_exact(self, name, graph):
+        props = run_graph_properties(graph, include_girth=False)
+        approx = run_approx_properties(graph, 0.5)
+        assert props.diameter <= approx.diameter_estimate \
+            <= 1.5 * props.diameter
+        assert props.radius <= approx.radius_estimate \
+            <= 1.5 * props.radius
+
+    def test_remark1_brackets_exact(self, name, graph):
+        props = run_graph_properties(graph, include_girth=False)
+        results, _ = run_remark1(graph)
+        sample = next(iter(results.values()))
+        assert props.diameter <= sample.diameter_estimate \
+            <= 2 * props.diameter
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+class TestDeterminism:
+    def test_apsp_deterministic(self, name, graph):
+        a = run_apsp(graph, seed=5)
+        b = run_apsp(graph, seed=5)
+        assert a.rounds == b.rounds
+        for uid in graph.nodes:
+            assert dict(a.results[uid].distances) == \
+                dict(b.results[uid].distances)
+
+    def test_approx_deterministic(self, name, graph):
+        a = run_approx_properties(graph, 0.5, seed=9)
+        b = run_approx_properties(graph, 0.5, seed=9)
+        assert a.rounds == b.rounds
+        assert a.ecc_estimates() == b.ecc_estimates()
+
+
+#: Every per-node program from the paper, with the inputs it needs on a
+#: 4x5 grid (n = 20).
+def _paper_factories(graph):
+    yield ApspGirthNode, None
+    yield SspNode, {u: (u <= 6) for u in graph.nodes}
+    yield DominatingSetNode, {u: 2 for u in graph.nodes}
+    yield ApproxEccNode, {u: 0.5 for u in graph.nodes}
+    yield GirthApproxNode, {u: 0.5 for u in graph.nodes}
+
+
+class TestBandwidthCompliance:
+    """Every paper algorithm survives the strict policy and never
+    exceeds B — the machine-checked version of the O(log n) message
+    claims throughout the paper."""
+
+    def test_all_programs_within_budget_on_grid(self):
+        graph = grid_graph(4, 5)
+        budget = default_bandwidth(graph.n)
+        for factory, inputs in _paper_factories(graph):
+            network = Network(graph, factory, inputs=inputs)
+            network.run()
+            assert network.metrics.max_edge_bits_in_round <= budget, \
+                factory.__name__
+
+    def test_two_vs_four_within_budget(self):
+        graph = diameter_two_random(24, seed=3)
+        network = Network(graph, TwoVsFourNode)
+        network.run()
+        assert network.metrics.max_edge_bits_in_round <= \
+            default_bandwidth(graph.n)

@@ -1,0 +1,57 @@
+"""Tests for min-id leader election."""
+
+import pytest
+
+from repro.congest import GraphError
+from repro.core.leader import relabel_for_apsp, run_leader_election
+from repro.graphs import Graph, all_pairs_distances, path_graph
+from tests.conftest import random_connected_graph, topology_zoo
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+def test_everyone_elects_the_minimum(name, graph):
+    results, _ = run_leader_election(graph)
+    assert {info.leader for info in results.values()} == \
+        {min(graph.nodes)}
+    assert results[min(graph.nodes)].is_leader
+
+
+def test_works_without_node_one():
+    graph = Graph([10, 20, 30, 40], [(10, 20), (20, 30), (30, 40)])
+    results, _ = run_leader_election(graph)
+    assert {info.leader for info in results.values()} == {10}
+
+
+def test_linear_round_bound():
+    graph = path_graph(40)
+    _, metrics = run_leader_election(graph)
+    assert metrics.rounds <= 40 + 3
+
+
+def test_requires_connected():
+    with pytest.raises(GraphError):
+        run_leader_election(Graph([1, 2, 3], [(1, 2)]))
+
+
+def test_relabel_pipeline_enables_apsp():
+    """Arbitrary ids -> elect -> relabel -> run Algorithm 1."""
+    from repro.core.apsp import run_apsp
+
+    graph = Graph([100, 205, 307, 411],
+                  [(100, 205), (205, 307), (307, 411), (100, 411)])
+    relabeled, mapping = relabel_for_apsp(graph)
+    assert relabeled.nodes == (1, 2, 3, 4)
+    summary = run_apsp(relabeled)
+    oracle = all_pairs_distances(relabeled)
+    for uid in relabeled.nodes:
+        assert dict(summary.results[uid].distances) == oracle[uid]
+    # The elected leader (smallest original id) became node 1.
+    assert mapping[100] == 1
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_on_random_graphs(seed):
+    graph = random_connected_graph(15, seed)
+    results, _ = run_leader_election(graph, seed=seed)
+    assert {info.leader for info in results.values()} == \
+        {min(graph.nodes)}

@@ -1,0 +1,53 @@
+"""Message-complexity bounds.
+
+Besides rounds, the paper states message/bit budgets: Algorithm 1's
+BFS-per-node approach moves O(n·m) messages; S-SP "uses O((|S|+D)·|E|)
+messages" (Section 3.2).  These tests pin the measured totals to those
+shapes with explicit constants, so a regression that starts spamming
+the network (e.g. re-flooding on every receipt) fails even if round
+counts stay plausible.
+"""
+
+import pytest
+
+from repro.core import run_apsp, run_remark1, run_ssp
+from repro.graphs import all_eccentricities, diameter
+from tests.conftest import topology_zoo
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+def test_apsp_messages_linear_in_n_times_m(name, graph):
+    """Each BFS_v crosses each edge O(1) times; plus tree/pebble/sync
+    overhead linear in n + m."""
+    summary = run_apsp(graph)
+    budget = 2 * graph.n * graph.m + 10 * (graph.n + graph.m) + 50
+    assert summary.metrics.messages_total <= budget
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+def test_ssp_messages_bounded_by_s_plus_d_times_m(name, graph):
+    """Section 3.2: O((|S| + D) · |E|) messages."""
+    sources = list(graph.nodes)[: max(1, graph.n // 3)]
+    summary = run_ssp(graph, sources)
+    d0 = 2 * all_eccentricities(graph)[1]
+    budget = 4 * (len(sources) + max(1, d0)) * graph.m + \
+        10 * (graph.n + graph.m) + 50
+    assert summary.metrics.messages_total <= budget
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+def test_remark1_messages_linear_in_m(name, graph):
+    """One BFS + echo + sync: O(m) messages total."""
+    _, metrics = run_remark1(graph)
+    assert metrics.messages_total <= 6 * graph.m + 6 * graph.n + 20
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+def test_apsp_bits_are_messages_times_logn(name, graph):
+    """No message carries more than O(log n) bits."""
+    summary = run_apsp(graph)
+    import math
+
+    per_message_cap = 8 * math.ceil(math.log2(graph.n + 2)) + 16
+    assert summary.metrics.bits_total <= \
+        summary.metrics.messages_total * per_message_cap

@@ -1,0 +1,112 @@
+"""Integration: the paper's algorithms on the paper's hard instances.
+
+The lower-bound gadgets are exactly the graphs the algorithms should
+find difficult-but-correct; running the full stack on them is both a
+correctness test on adversarial topology (dense cliques, tiny cuts,
+pendant paths) and the glue between the upper- and lower-bound halves
+of the reproduction.
+"""
+
+import pytest
+
+from repro.core import (
+    run_apsp,
+    run_approx_properties,
+    run_graph_properties,
+    run_ssp,
+    run_two_vs_four,
+)
+from repro.graphs import (
+    all_pairs_distances,
+    diameter,
+    diameter_2_vs_3,
+    diameter_gap2_family,
+    girth,
+    mirror_gadget,
+    pad_with_path,
+    random_disjointness_instance,
+    random_membership_instance,
+)
+
+
+@pytest.fixture(params=[True, False], ids=["intersecting", "disjoint"])
+def gadget_2v3(request):
+    x, y = random_disjointness_instance(
+        4, intersecting=request.param, seed=13
+    )
+    return diameter_2_vs_3(4, x, y)
+
+
+class TestOn2v3Gadget:
+    def test_apsp_exact(self, gadget_2v3):
+        graph = gadget_2v3.graph
+        summary = run_apsp(graph)
+        oracle = all_pairs_distances(graph)
+        for uid in graph.nodes:
+            assert dict(summary.results[uid].distances) == oracle[uid]
+
+    def test_properties_decide_the_instance(self, gadget_2v3):
+        summary = run_graph_properties(gadget_2v3.graph,
+                                       include_girth=True)
+        assert summary.diameter == gadget_2v3.planted_diameter
+        assert summary.girth == 3  # the cliques
+
+    def test_ssp_from_cut_endpoints(self, gadget_2v3):
+        graph = gadget_2v3.graph
+        sources = [u for u, _ in gadget_2v3.cut_edges][:3]
+        summary = run_ssp(graph, sources)
+        for uid in graph.nodes:
+            for source in sources:
+                assert summary.results[uid].distances[source] == \
+                    all_pairs_distances(graph)[source][uid]
+
+    def test_approx_brackets_planted_diameter(self, gadget_2v3):
+        summary = run_approx_properties(gadget_2v3.graph, 0.5)
+        d = gadget_2v3.planted_diameter
+        assert d <= summary.diameter_estimate <= 1.5 * d
+
+
+class TestOnMirrorGadget:
+    @pytest.mark.parametrize("intersecting", [True, False])
+    def test_properties(self, intersecting):
+        x, y = random_disjointness_instance(
+            3, intersecting=intersecting, seed=5
+        )
+        gadget = mirror_gadget(3, x, y)
+        summary = run_graph_properties(gadget.graph, include_girth=False)
+        assert summary.diameter == gadget.planted_diameter
+
+
+class TestOnGap2Family:
+    @pytest.mark.parametrize("intersecting", [True, False])
+    def test_exact_and_approx_diameter(self, intersecting):
+        xs, ys = random_membership_instance(
+            6, intersecting=intersecting, seed=2
+        )
+        gadget = diameter_gap2_family(6, 3, xs, ys)
+        exact = run_graph_properties(gadget.graph, include_girth=False)
+        assert exact.diameter == gadget.planted_diameter
+        approx = run_approx_properties(gadget.graph, 0.5)
+        assert gadget.planted_diameter <= approx.diameter_estimate \
+            <= 1.5 * gadget.planted_diameter
+
+    def test_witness_pair_distance_via_apsp(self):
+        xs, ys = random_membership_instance(6, intersecting=False,
+                                            seed=9)
+        gadget = diameter_gap2_family(6, 3, xs, ys)
+        summary = run_apsp(gadget.graph)
+        u, v = gadget.witness_pair
+        assert summary.distance(u, v) == gadget.planted_diameter
+
+
+class TestOnPaddedGadget:
+    def test_properties_track_padding(self):
+        x, y = random_disjointness_instance(3, intersecting=False,
+                                            seed=7)
+        gadget = diameter_2_vs_3(3, x, y)
+        for length in (2, 5):
+            padded = pad_with_path(gadget, length)
+            summary = run_graph_properties(padded.graph,
+                                           include_girth=True)
+            assert summary.diameter == padded.planted_diameter
+            assert summary.girth == girth(padded.graph) == 3

@@ -1,0 +1,83 @@
+"""Tests for the exact property algorithms (Lemmas 2–7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.properties import GIRTH_INFINITE, run_graph_properties
+from repro.graphs import (
+    all_eccentricities,
+    center,
+    cycle_graph,
+    diameter,
+    girth,
+    path_graph,
+    peripheral_vertices,
+    radius,
+    random_tree,
+)
+from tests.conftest import random_connected_graph, topology_zoo
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+class TestAgainstOracle:
+    def test_eccentricities(self, name, graph):
+        summary = run_graph_properties(graph)
+        assert summary.eccentricities() == all_eccentricities(graph)
+
+    def test_diameter_known_to_all(self, name, graph):
+        summary = run_graph_properties(graph)
+        assert summary.diameter == diameter(graph)
+        values = {r.diameter for r in summary.results.values()}
+        assert len(values) == 1  # Definition 6: same estimate everywhere
+
+    def test_radius(self, name, graph):
+        summary = run_graph_properties(graph)
+        assert summary.radius == radius(graph)
+
+    def test_center_membership(self, name, graph):
+        summary = run_graph_properties(graph)
+        assert summary.center() == center(graph)
+
+    def test_peripheral_membership(self, name, graph):
+        summary = run_graph_properties(graph)
+        assert summary.peripheral() == peripheral_vertices(graph)
+
+    def test_girth(self, name, graph):
+        summary = run_graph_properties(graph)
+        assert summary.girth == girth(graph)
+
+    def test_rounds_linear(self, name, graph):
+        summary = run_graph_properties(graph)
+        ecc1 = all_eccentricities(graph)[1]
+        assert summary.rounds <= 3 * graph.n + 20 * max(1, ecc1) + 30
+
+
+class TestGirthConventions:
+    def test_tree_has_infinite_girth(self):
+        summary = run_graph_properties(random_tree(15, seed=4))
+        assert summary.girth == GIRTH_INFINITE
+
+    def test_path_has_infinite_girth(self):
+        summary = run_graph_properties(path_graph(8))
+        assert summary.girth == GIRTH_INFINITE
+
+    def test_odd_and_even_cycles_exact(self):
+        assert run_graph_properties(cycle_graph(7)).girth == 7
+        assert run_graph_properties(cycle_graph(8)).girth == 8
+
+    def test_girth_can_be_skipped(self):
+        summary = run_graph_properties(path_graph(5), include_girth=False)
+        assert next(iter(summary.results.values())).girth is None
+
+
+@given(st.integers(min_value=2, max_value=18),
+       st.integers(min_value=0, max_value=10**6))
+def test_all_properties_on_random_graphs(n, seed):
+    graph = random_connected_graph(n, seed)
+    summary = run_graph_properties(graph)
+    assert summary.diameter == diameter(graph)
+    assert summary.radius == radius(graph)
+    assert summary.girth == girth(graph)
+    assert summary.center() == center(graph)
+    assert summary.peripheral() == peripheral_vertices(graph)

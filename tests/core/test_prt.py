@@ -1,0 +1,85 @@
+"""Tests for the Section 3.6 companions (Corollaries 1–2)."""
+
+import pytest
+
+from repro.core.prt import (
+    combined_diameter_estimate,
+    combined_girth_estimate,
+    run_prt_diameter,
+)
+from repro.graphs import (
+    cycle_graph,
+    diameter,
+    dumbbell_with_path,
+    erdos_renyi_graph,
+    girth,
+    grid_graph,
+    path_graph,
+    torus_graph,
+)
+
+
+ZOO = [
+    ("path25", path_graph(25)),
+    ("cycle20", cycle_graph(20)),
+    ("grid5x5", grid_graph(5, 5)),
+    ("torus4x6", torus_graph(4, 6)),
+    ("er35", erdos_renyi_graph(35, 0.15, seed=3, ensure_connected=True)),
+    ("dumbbell", dumbbell_with_path(6, 10)),
+]
+
+
+@pytest.mark.parametrize("name,graph", ZOO)
+class TestPrtDiameter:
+    def test_estimate_in_two_thirds_band(self, name, graph):
+        """ACIM/PRT guarantee: ⌊2D/3⌋ ≤ estimate ≤ D."""
+        summary = run_prt_diameter(graph)
+        d = diameter(graph)
+        assert (2 * d) // 3 <= summary.estimate <= d
+
+    def test_all_nodes_agree(self, name, graph):
+        summary = run_prt_diameter(graph)
+        estimates = {r.estimate for r in summary.results.values()}
+        assert len(estimates) == 1
+
+    def test_sample_size_reasonable(self, name, graph):
+        import math
+
+        summary = run_prt_diameter(graph)
+        target = math.sqrt(graph.n * math.log2(graph.n))
+        size = next(iter(summary.results.values())).sample_size
+        assert 1 <= size <= max(6 * target, graph.n)
+
+
+class TestCorollary1:
+    def test_picks_ours_on_deep_graphs(self):
+        outcome = combined_diameter_estimate(path_graph(50))
+        assert outcome["branch"] == "holzer-wattenhofer-1+eps"
+        d = diameter(path_graph(50))
+        assert d <= outcome["estimate"] <= 1.5 * d
+
+    def test_picks_prt_on_shallow_graphs(self):
+        graph = erdos_renyi_graph(120, 0.3, seed=4, ensure_connected=True)
+        outcome = combined_diameter_estimate(graph)
+        assert outcome["branch"] == "prt-3/2"
+        d = diameter(graph)
+        assert (2 * d) // 3 <= outcome["estimate"] <= 1.5 * d + 1
+
+    def test_reports_rounds(self):
+        outcome = combined_diameter_estimate(grid_graph(4, 4))
+        assert outcome["rounds"] > 0
+
+
+class TestCorollary2:
+    def test_exact_branch_on_long_cycles(self):
+        graph = cycle_graph(24)
+        outcome = combined_girth_estimate(graph)
+        g = girth(graph)
+        assert g <= outcome["girth"] <= 1.5 * g
+
+    def test_approx_branch_on_shallow_graphs(self):
+        graph = erdos_renyi_graph(60, 0.3, seed=7, ensure_connected=True)
+        outcome = combined_girth_estimate(graph)
+        assert outcome["branch"] == "theorem5-approx"
+        g = girth(graph)
+        assert g <= outcome["girth"] <= 1.5 * g

@@ -1,0 +1,151 @@
+"""Tests for Algorithm 2 (S-SP): correctness, round bound, and the
+documented counterexample to the extended abstract's id-only priority."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.congest import GraphError, Network
+from repro.core.ssp import PRIORITY_ID, SspNode, run_ssp
+from repro.graphs import (
+    all_eccentricities,
+    bfs_distances,
+    cycle_graph,
+    diameter,
+    grid_graph,
+    path_graph,
+)
+from tests.conftest import random_connected_graph, topology_zoo
+
+
+def oracle_ssp(graph, sources):
+    return {
+        node: {
+            source: bfs_distances(graph, source)[node]
+            for source in sources
+        }
+        for node in graph.nodes
+    }
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+class TestCorrectness:
+    def test_random_source_sets(self, name, graph):
+        rng = random.Random(hash(name) & 0xFFFF)
+        for trial in range(3):
+            size = rng.randint(1, min(7, graph.n))
+            sources = rng.sample(list(graph.nodes), size)
+            summary = run_ssp(graph, sources)
+            want = oracle_ssp(graph, sources)
+            for node in graph.nodes:
+                assert dict(summary.results[node].distances) == want[node]
+
+    def test_parents_point_one_step_closer(self, name, graph):
+        sources = list(graph.nodes)[:4]
+        summary = run_ssp(graph, sources)
+        for node in graph.nodes:
+            result = summary.results[node]
+            for source, parent in result.parents.items():
+                if source == node:
+                    assert parent is None
+                    continue
+                assert graph.has_edge(node, parent)
+                assert summary.results[parent].distances[source] == \
+                    result.distances[source] - 1
+
+
+class TestEdgeCases:
+    def test_empty_source_set(self):
+        summary = run_ssp(path_graph(6), [])
+        for result in summary.results.values():
+            assert dict(result.distances) == {}
+
+    def test_all_nodes_as_sources_is_apsp(self):
+        graph = grid_graph(3, 4)
+        summary = run_ssp(graph, graph.nodes)
+        from repro.graphs import all_pairs_distances
+
+        oracle = all_pairs_distances(graph)
+        for node in graph.nodes:
+            assert dict(summary.results[node].distances) == oracle[node]
+
+    def test_single_source(self):
+        graph = cycle_graph(9)
+        summary = run_ssp(graph, [5])
+        want = bfs_distances(graph, 5)
+        for node in graph.nodes:
+            assert summary.results[node].distances[5] == want[node]
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(GraphError):
+            run_ssp(path_graph(3), [9])
+
+    def test_nearest_source_helper(self):
+        graph = path_graph(9)
+        summary = run_ssp(graph, [1, 9])
+        assert summary.results[2].nearest_source() == (1, 1)
+        assert summary.results[8].nearest_source() == (9, 1)
+        # Equidistant: tie to the smaller id.
+        assert summary.results[5].nearest_source() == (1, 4)
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("size", [1, 4, 8])
+    def test_rounds_linear_in_s_plus_d(self, size):
+        graph = grid_graph(5, 5)
+        sources = list(graph.nodes)[:size]
+        summary = run_ssp(graph, sources)
+        ecc1 = all_eccentricities(graph)[1]
+        # init (≈3·ecc) + main loop (|S| + 2·ecc + 2).
+        assert summary.rounds <= size + 8 * ecc1 + 16
+
+    def test_one_offer_per_edge_per_round(self):
+        graph = grid_graph(4, 4)
+        network = Network(
+            graph, SspNode,
+            inputs={u: u <= 8 for u in graph.nodes},
+        )
+        network.run()
+        assert network.metrics.max_edge_bits_in_round <= \
+            network.bandwidth_bits
+
+
+@given(st.integers(min_value=2, max_value=20),
+       st.integers(min_value=0, max_value=10**6),
+       st.integers(min_value=0, max_value=10**6))
+def test_ssp_matches_oracle_on_random_instances(n, seed, source_seed):
+    graph = random_connected_graph(n, seed)
+    rng = random.Random(source_seed)
+    size = rng.randint(0, n)
+    sources = rng.sample(list(graph.nodes), size)
+    summary = run_ssp(graph, sources)
+    want = oracle_ssp(graph, sources)
+    for node in graph.nodes:
+        assert dict(summary.results[node].distances) == want[node]
+
+
+class TestPaperRuleDiscrepancy:
+    """The extended abstract's smaller-id-first rule records a
+    non-shortest distance on this instance (see the module docstring of
+    repro.core.ssp); the corrected (dist, id) rule does not."""
+
+    GRAPH = cycle_graph(9)
+    SOURCES = [9, 2, 3, 4, 7, 8, 5]
+
+    def test_id_only_priority_is_wrong_here(self):
+        summary = run_ssp(self.GRAPH, self.SOURCES, priority=PRIORITY_ID)
+        # Wave 5 reaches node 1 around the "wrong" side of the cycle
+        # first because ids 7, 8, 9 never delay it there.
+        assert summary.results[1].distances[5] == 5
+        assert bfs_distances(self.GRAPH, 5)[1] == 4
+
+    def test_corrected_priority_is_right_here(self):
+        summary = run_ssp(self.GRAPH, self.SOURCES)
+        assert summary.results[1].distances[5] == 4
+
+    def test_id_only_rule_still_terminates_in_bound(self):
+        summary = run_ssp(self.GRAPH, self.SOURCES, priority=PRIORITY_ID)
+        ecc1 = all_eccentricities(self.GRAPH)[1]
+        assert summary.rounds <= len(self.SOURCES) + 8 * ecc1 + 16

@@ -1,0 +1,176 @@
+"""Tests for the protocol kit: tree building, broadcast, convergecast."""
+
+import pytest
+
+from repro.congest import INFINITY, Network, NodeAlgorithm, ProtocolError
+from repro.core.subroutines import (
+    aggregate_and_share,
+    aligned_broadcast,
+    aligned_convergecast,
+    build_bfs_tree,
+    combine_max,
+    combine_min,
+    combine_sum,
+    wait_until_round,
+)
+from repro.graphs import (
+    Graph,
+    all_eccentricities,
+    bfs_distances,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from tests.conftest import topology_zoo
+
+
+class TreeProbe(NodeAlgorithm):
+    """Builds T_1 and reports everything it learned."""
+
+    def program(self):
+        mark = 1 if self.uid % 2 == 0 else 0
+        tree = yield from build_bfs_tree(self, 1, mark=mark)
+        return tree
+
+
+def build_all_trees(graph, factory=TreeProbe):
+    outcome = Network(graph, factory).run()
+    return outcome.results, outcome.metrics
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+class TestBuildBfsTree:
+    def test_depths_are_distances(self, name, graph):
+        trees, _ = build_all_trees(graph)
+        oracle = bfs_distances(graph, 1)
+        assert {u: t.depth for u, t in trees.items()} == oracle
+
+    def test_parents_consistent(self, name, graph):
+        trees, _ = build_all_trees(graph)
+        for uid, tree in trees.items():
+            if uid == 1:
+                assert tree.parent is None
+                assert tree.is_root
+            else:
+                assert graph.has_edge(uid, tree.parent)
+                assert trees[tree.parent].depth == tree.depth - 1
+                assert uid in trees[tree.parent].children
+
+    def test_children_lists_form_tree(self, name, graph):
+        trees, _ = build_all_trees(graph)
+        total_children = sum(len(t.children) for t in trees.values())
+        assert total_children == graph.n - 1
+
+    def test_ecc_root_exact_everywhere(self, name, graph):
+        trees, _ = build_all_trees(graph)
+        true_ecc = all_eccentricities(graph)[1]
+        assert {t.ecc_root for t in trees.values()} == {true_ecc}
+
+    def test_census_counts_marks(self, name, graph):
+        trees, _ = build_all_trees(graph)
+        marked = sum(1 for u in graph.nodes if u % 2 == 0)
+        assert {t.marked_count for t in trees.values()} == {marked}
+
+    def test_all_exit_same_round(self, name, graph):
+        trees, _ = build_all_trees(graph)
+        assert len({t.start_round for t in trees.values()}) == 1
+
+    def test_runs_in_o_diameter(self, name, graph):
+        trees, metrics = build_all_trees(graph)
+        ecc = next(iter(trees.values())).ecc_root
+        assert metrics.rounds <= 4 * max(1, ecc) + 10
+
+
+class TestBuildBfsTreeEdgeCases:
+    def test_single_node(self):
+        trees, _ = build_all_trees(Graph([1], []))
+        tree = trees[1]
+        assert tree.depth == 0 and tree.children == ()
+        assert tree.ecc_root == 0
+        assert tree.diameter_bound == 1
+
+    def test_two_nodes(self):
+        trees, _ = build_all_trees(path_graph(2))
+        assert trees[2].parent == 1
+        assert trees[1].children == (2,)
+
+    def test_star_children_all_leaves(self):
+        trees, _ = build_all_trees(star_graph(6))
+        assert set(trees[1].children) == {2, 3, 4, 5, 6}
+        for leaf in range(2, 7):
+            assert trees[leaf].children == ()
+
+
+class AggProbe(NodeAlgorithm):
+    """Exercises broadcast / convergecast / aggregate-and-share."""
+
+    def program(self):
+        tree = yield from build_bfs_tree(self, 1)
+        received = yield from aligned_broadcast(
+            self, tree, 12345 if tree.is_root else None
+        )
+        total = yield from aligned_convergecast(
+            self, tree, self.uid, combine_sum
+        )
+        shared_max = yield from aggregate_and_share(
+            self, tree, self.uid, combine_max
+        )
+        shared_min = yield from aggregate_and_share(
+            self, tree, self.uid, combine_min
+        )
+        return (received, total, shared_max, shared_min)
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+def test_aggregation_primitives(name, graph):
+    outcome = Network(graph, AggProbe).run()
+    n = graph.n
+    expected_sum = sum(graph.nodes)
+    for uid, (received, total, shared_max, shared_min) in \
+            outcome.results.items():
+        assert received == 12345
+        if uid == 1:
+            assert total == expected_sum
+        else:
+            assert total is None
+        assert shared_max == max(graph.nodes)
+        assert shared_min == min(graph.nodes)
+
+
+class TestCombines:
+    def test_min_with_infinity(self):
+        assert combine_min(INFINITY, 5) == 5
+        assert combine_min(5, INFINITY) == 5
+        assert combine_min(INFINITY, INFINITY) == INFINITY
+        assert combine_min(3, 7) == 3
+
+    def test_max_with_infinity(self):
+        assert combine_max(INFINITY, 5) == INFINITY
+        assert combine_max(5, INFINITY) == INFINITY
+        assert combine_max(3, 7) == 7
+
+    def test_sum_rejects_infinity(self):
+        assert combine_sum(2, 3) == 5
+        with pytest.raises(ProtocolError):
+            combine_sum(INFINITY, 1)
+
+
+class TestWaitUntilRound:
+    def test_missed_round_raises(self):
+        class Late(NodeAlgorithm):
+            def program(self):
+                yield
+                yield
+                yield from wait_until_round(self, 1)
+
+        with pytest.raises(ProtocolError):
+            Network(path_graph(2), Late).run()
+
+    def test_broadcast_without_value_raises(self):
+        class BadRoot(NodeAlgorithm):
+            def program(self):
+                tree = yield from build_bfs_tree(self, 1)
+                yield from aligned_broadcast(self, tree, None)
+
+        with pytest.raises(ProtocolError):
+            Network(path_graph(3), BadRoot).run()

@@ -1,0 +1,79 @@
+"""Tests for Algorithm 3 (2-vs-4, Theorem 7)."""
+
+import math
+
+import pytest
+
+from repro.core.two_vs_four import degree_threshold, run_two_vs_four
+from repro.graphs import (
+    complete_graph,
+    diameter,
+    diameter_four_blobs,
+    diameter_two_random,
+    star_graph,
+)
+
+
+class TestVerdicts:
+    @pytest.mark.parametrize("n", [12, 25, 50])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_diameter_two_family(self, n, seed):
+        graph = diameter_two_random(n, seed=seed)
+        assert diameter(graph) == 2  # promise holds
+        summary = run_two_vs_four(graph, seed=seed)
+        assert summary.diameter == 2
+
+    @pytest.mark.parametrize("n", [12, 25, 50])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_diameter_four_family(self, n, seed):
+        graph = diameter_four_blobs(n, seed=seed)
+        assert diameter(graph) == 4
+        summary = run_two_vs_four(graph, seed=seed)
+        assert summary.diameter == 4
+
+    def test_all_nodes_agree(self):
+        summary = run_two_vs_four(diameter_two_random(30, seed=7))
+        verdicts = {r.diameter for r in summary.results.values()}
+        assert len(verdicts) == 1
+
+
+class TestBranches:
+    def test_low_degree_branch_on_blobs(self):
+        # The pendant node has degree 1 << s.
+        summary = run_two_vs_four(diameter_four_blobs(40, seed=1))
+        assert summary.branch == "low-degree"
+
+    def test_sampled_branch_on_dense_graph(self):
+        # Complete graph: every degree = n-1 ≥ s.
+        summary = run_two_vs_four(complete_graph(30))
+        assert summary.branch == "sampled"
+        assert summary.diameter == 2  # ≤ 2, reported as the 2 branch
+
+    def test_low_degree_branch_on_star(self):
+        summary = run_two_vs_four(star_graph(40))
+        assert summary.branch == "low-degree"
+        assert summary.diameter == 2
+
+    def test_source_count_bounded(self):
+        n = 50
+        summary = run_two_vs_four(diameter_two_random(n, seed=3))
+        s = degree_threshold(n)
+        count = next(iter(summary.results.values())).source_count
+        # N1(v) of a low-degree node, or a Θ(√(n log n)) sample.
+        assert count <= 4 * s + 1
+
+
+class TestComplexityShape:
+    def test_sublinear_in_n_on_dense_instances(self):
+        """Rounds grow like √(n log n), clearly below n for larger n."""
+        rounds = {}
+        for n in (40, 90):
+            summary = run_two_vs_four(diameter_two_random(n, seed=5))
+            rounds[n] = summary.rounds
+        assert rounds[90] < 90  # sublinear already at n = 90
+        assert rounds[90] <= rounds[40] * math.sqrt(90 / 40) * 2.5
+
+    def test_threshold_formula(self):
+        assert degree_threshold(100) == pytest.approx(
+            math.sqrt(100 * math.log2(100))
+        )

@@ -1,0 +1,152 @@
+"""The sequential oracles, cross-checked against networkx.
+
+The distributed algorithms are tested against :mod:`repro.graphs.analysis`;
+these tests in turn pin the oracles to an independent implementation, so
+no quantity in the project rests on a single piece of code.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.congest.errors import GraphError
+from repro.graphs import (
+    GIRTH_INFINITE,
+    Graph,
+    all_eccentricities,
+    all_pairs_distances,
+    bfs_distances,
+    bfs_tree,
+    center,
+    cycle_graph,
+    diameter,
+    distance_matrix,
+    eccentricity,
+    girth,
+    grid_graph,
+    is_forest,
+    is_k_dominating_set,
+    is_tree,
+    k_neighborhood,
+    path_graph,
+    peripheral_vertices,
+    radius,
+    random_tree,
+    star_graph,
+)
+from tests.conftest import random_connected_graph, topology_zoo
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes)
+    g.add_edges_from(graph.edges)
+    return g
+
+
+@pytest.mark.parametrize("name,graph", topology_zoo())
+class TestAgainstNetworkx:
+    def test_distances(self, name, graph):
+        nxg = to_networkx(graph)
+        want = dict(nx.all_pairs_shortest_path_length(nxg))
+        got = all_pairs_distances(graph)
+        assert {u: dict(d) for u, d in got.items()} == \
+            {u: dict(d) for u, d in want.items()}
+
+    def test_eccentricity_diameter_radius(self, name, graph):
+        nxg = to_networkx(graph)
+        assert all_eccentricities(graph) == nx.eccentricity(nxg)
+        assert diameter(graph) == nx.diameter(nxg)
+        assert radius(graph) == nx.radius(nxg)
+
+    def test_center_peripheral(self, name, graph):
+        nxg = to_networkx(graph)
+        assert center(graph) == frozenset(nx.center(nxg))
+        assert peripheral_vertices(graph) == frozenset(nx.periphery(nxg))
+
+    def test_girth(self, name, graph):
+        nxg = to_networkx(graph)
+        assert girth(graph) == nx.girth(nxg)
+
+
+@given(st.integers(min_value=2, max_value=28),
+       st.integers(min_value=0, max_value=10**6))
+def test_random_graphs_match_networkx(n, seed):
+    graph = random_connected_graph(n, seed)
+    nxg = to_networkx(graph)
+    assert diameter(graph) == nx.diameter(nxg)
+    assert girth(graph) == nx.girth(nxg)
+    assert all_eccentricities(graph) == nx.eccentricity(nxg)
+
+
+class TestBfs:
+    def test_distances_on_path(self):
+        assert bfs_distances(path_graph(4), 2) == {2: 0, 1: 1, 3: 1, 4: 2}
+
+    def test_unknown_source(self):
+        with pytest.raises(GraphError):
+            bfs_distances(path_graph(3), 7)
+
+    def test_partial_on_disconnected(self):
+        g = Graph([1, 2, 3], [(1, 2)])
+        assert bfs_distances(g, 1) == {1: 0, 2: 1}
+
+    def test_tree_parents_valid(self):
+        g = grid_graph(3, 3)
+        parents = bfs_tree(g, 1)
+        dist = bfs_distances(g, 1)
+        assert parents[1] is None
+        for node, parent in parents.items():
+            if parent is not None:
+                assert dist[node] == dist[parent] + 1
+                assert g.has_edge(node, parent)
+
+    def test_tie_break_smallest_parent(self):
+        g = cycle_graph(4)  # node 3 reachable via 2 and 4
+        parents = bfs_tree(g, 1)
+        assert parents[3] == 2
+
+
+class TestPredicates:
+    def test_is_tree(self):
+        assert is_tree(random_tree(15, seed=1))
+        assert not is_tree(cycle_graph(5))
+        assert not is_tree(Graph([1, 2, 3], [(1, 2)]))  # disconnected
+
+    def test_is_forest(self):
+        assert is_forest(Graph([1, 2, 3], [(1, 2)]))
+        assert not is_forest(cycle_graph(3))
+
+    def test_eccentricity_requires_connectivity(self):
+        with pytest.raises(GraphError):
+            eccentricity(Graph([1, 2, 3], [(1, 2)]), 1)
+
+    def test_girth_of_forest_infinite(self):
+        assert girth(random_tree(10, seed=3)) == GIRTH_INFINITE
+
+
+class TestNeighborhoodsAndDomination:
+    def test_k_neighborhood(self):
+        g = path_graph(7)
+        assert k_neighborhood(g, 4, 0) == frozenset({4})
+        assert k_neighborhood(g, 4, 2) == frozenset({2, 3, 4, 5, 6})
+
+    def test_is_k_dominating(self):
+        g = path_graph(9)
+        assert is_k_dominating_set(g, [2, 5, 8], 1)
+        assert not is_k_dominating_set(g, [2, 5], 1)
+        assert is_k_dominating_set(g, [5], 4)
+
+    def test_star_center_dominates(self):
+        assert is_k_dominating_set(star_graph(10), [1], 1)
+
+
+def test_distance_matrix_shape_and_symmetry():
+    g = grid_graph(3, 3)
+    matrix = distance_matrix(g)
+    assert len(matrix) == g.n
+    for i in range(g.n):
+        assert matrix[i][i] == 0
+        for j in range(g.n):
+            assert matrix[i][j] == matrix[j][i]

@@ -1,0 +1,179 @@
+"""Tests for the topology zoo: structural invariants per family."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.congest.errors import GraphError
+from repro.graphs import (
+    GIRTH_INFINITE,
+    balanced_tree,
+    barbell_graph,
+    caterpillar_graph,
+    circulant_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    diameter,
+    diameter_four_blobs,
+    diameter_two_random,
+    dumbbell_with_path,
+    erdos_renyi_graph,
+    girth,
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+
+
+class TestDeterministicFamilies:
+    @pytest.mark.parametrize("n", [1, 2, 5, 12])
+    def test_path(self, n):
+        g = path_graph(n)
+        assert (g.n, g.m) == (n, n - 1)
+        if n > 1:
+            assert diameter(g) == n - 1
+        assert girth(g) == GIRTH_INFINITE
+
+    @pytest.mark.parametrize("n", [3, 4, 9, 10])
+    def test_cycle(self, n):
+        g = cycle_graph(n)
+        assert (g.n, g.m) == (n, n)
+        assert diameter(g) == n // 2
+        assert girth(g) == n
+
+    @pytest.mark.parametrize("n", [2, 3, 8])
+    def test_star(self, n):
+        g = star_graph(n)
+        assert (g.n, g.m) == (n, n - 1)
+        assert g.degree(1) == n - 1
+        if n >= 3:
+            assert diameter(g) == 2
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 7])
+    def test_complete(self, n):
+        g = complete_graph(n)
+        assert g.m == n * (n - 1) // 2
+        if n >= 2:
+            assert diameter(g) == 1
+        if n >= 3:
+            assert girth(g) == 3
+
+    @pytest.mark.parametrize("a,b", [(1, 1), (2, 3), (4, 4)])
+    def test_bipartite(self, a, b):
+        g = complete_bipartite_graph(a, b)
+        assert (g.n, g.m) == (a + b, a * b)
+        if min(a, b) >= 2:
+            assert girth(g) == 4
+
+    @pytest.mark.parametrize("rows,cols", [(1, 5), (3, 4), (4, 4)])
+    def test_grid(self, rows, cols):
+        g = grid_graph(rows, cols)
+        assert g.n == rows * cols
+        assert diameter(g) == rows + cols - 2
+        if rows >= 2 and cols >= 2:
+            assert girth(g) == 4
+
+    @pytest.mark.parametrize("rows,cols", [(3, 3), (4, 5), (3, 7)])
+    def test_torus(self, rows, cols):
+        g = torus_graph(rows, cols)
+        assert g.n == rows * cols
+        assert diameter(g) == rows // 2 + cols // 2
+        assert girth(g) == min(rows, cols, 4)
+
+    @pytest.mark.parametrize("b,h", [(2, 0), (2, 3), (3, 2)])
+    def test_balanced_tree(self, b, h):
+        g = balanced_tree(b, h)
+        expected_n = sum(b ** level for level in range(h + 1))
+        assert g.n == expected_n
+        assert g.m == g.n - 1
+        assert g.is_connected()
+        assert girth(g) == GIRTH_INFINITE
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(5, 2)
+        assert g.n == 5 + 10
+        assert g.m == g.n - 1
+        assert girth(g) == GIRTH_INFINITE
+
+    def test_lollipop(self):
+        g = lollipop_graph(5, 4)
+        assert g.n == 9
+        assert girth(g) == 3
+        assert diameter(g) == 5
+
+    def test_barbell(self):
+        g = barbell_graph(4, 2)
+        assert g.n == 10
+        assert girth(g) == 3
+        assert g.is_connected()
+
+    def test_circulant(self):
+        g = circulant_graph(10, [1])
+        assert g == cycle_graph(10)
+        g2 = circulant_graph(12, [2, 3])
+        assert g2.is_connected()
+        assert all(g2.degree(v) == 4 for v in g2.nodes)
+
+    def test_circulant_validation(self):
+        with pytest.raises(GraphError):
+            circulant_graph(10, [7])
+
+    def test_dumbbell_diameter_control(self):
+        for path_len in (2, 5, 9):
+            g = dumbbell_with_path(4, path_len)
+            assert diameter(g) == path_len + 2
+            assert g.is_connected()
+
+
+class TestRandomFamilies:
+    @given(st.integers(min_value=2, max_value=30),
+           st.integers(min_value=0, max_value=10**6))
+    def test_er_connected_flag(self, n, seed):
+        g = erdos_renyi_graph(n, 0.1, seed=seed, ensure_connected=True)
+        assert g.n == n
+        assert g.is_connected()
+
+    def test_er_determinism(self):
+        a = erdos_renyi_graph(20, 0.3, seed=5)
+        b = erdos_renyi_graph(20, 0.3, seed=5)
+        assert a == b
+
+    def test_er_density_monotone(self):
+        sparse = erdos_renyi_graph(30, 0.1, seed=1)
+        dense = erdos_renyi_graph(30, 0.8, seed=1)
+        assert dense.m > sparse.m
+
+    def test_er_probability_validation(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(5, 1.5)
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=10**6))
+    def test_random_tree_is_tree(self, n, seed):
+        g = random_tree(n, seed=seed)
+        assert g.m == n - 1
+        assert g.is_connected()
+
+    @pytest.mark.parametrize("n,d", [(8, 3), (10, 4), (13, 2)])
+    def test_random_regular(self, n, d):
+        g = random_regular_graph(n, d, seed=3)
+        assert all(g.degree(v) == d for v in g.nodes)
+
+    def test_random_regular_parity_validation(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3)
+
+    @pytest.mark.parametrize("n", [10, 25, 41])
+    def test_diameter_two_family(self, n):
+        g = diameter_two_random(n, seed=n)
+        assert diameter(g) == 2
+
+    @pytest.mark.parametrize("n", [9, 20, 33])
+    def test_diameter_four_family(self, n):
+        g = diameter_four_blobs(n, seed=n)
+        assert diameter(g) == 4

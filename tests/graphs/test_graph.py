@@ -1,0 +1,123 @@
+"""Unit tests for the Graph type."""
+
+import pytest
+
+from repro.congest.errors import GraphError
+from repro.graphs import Graph, normalize_edge, path_graph
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = Graph([1, 2, 3], [(1, 2), (3, 2)])
+        assert g.n == 3
+        assert g.m == 2
+        assert g.nodes == (1, 2, 3)
+        assert g.edges == ((1, 2), (2, 3))
+
+    def test_isolated_nodes_allowed(self):
+        g = Graph([1, 2, 3], [(1, 2)])
+        assert g.degree(3) == 0
+        assert not g.is_connected()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([1], [(1, 1)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([1, 2], [(1, 2), (2, 1)])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([1, 2], [(1, 3)])
+
+    def test_non_positive_node_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([0, 1], [])
+        with pytest.raises(GraphError):
+            Graph([-3], [])
+
+    def test_non_int_node_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(["a"], [])
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(5, 2), (2, 9)])
+        assert g.nodes == (2, 5, 9)
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph([1, 2, 3, 4], [(2, 4), (2, 1), (2, 3)])
+        assert g.neighbors(2) == (1, 3, 4)
+
+    def test_neighbors_unknown_node(self):
+        with pytest.raises(GraphError):
+            path_graph(3).neighbors(9)
+
+    def test_has_edge(self):
+        g = path_graph(3)
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(1, 3)
+
+    def test_min_node(self):
+        assert Graph([4, 7, 2], []).min_node() == 2
+        with pytest.raises(GraphError):
+            Graph([], []).min_node()
+
+    def test_directed_edges_both_orientations(self):
+        g = path_graph(3)
+        assert sorted(g.directed_edges()) == [
+            (1, 2), (2, 1), (2, 3), (3, 2)
+        ]
+
+
+class TestStructure:
+    def test_connected(self):
+        assert path_graph(5).is_connected()
+        assert not Graph([1, 2, 3], [(1, 2)]).is_connected()
+        assert Graph([1], []).is_connected()
+
+    def test_subgraph(self):
+        g = path_graph(5)
+        sub = g.subgraph([2, 3, 4])
+        assert sub.nodes == (2, 3, 4)
+        assert sub.edges == ((2, 3), (3, 4))
+
+    def test_subgraph_unknown_nodes(self):
+        with pytest.raises(GraphError):
+            path_graph(3).subgraph([1, 9])
+
+    def test_relabeled(self):
+        g = Graph([10, 20, 30], [(10, 30)])
+        relabeled, mapping = g.relabeled()
+        assert relabeled.nodes == (1, 2, 3)
+        assert mapping == {10: 1, 20: 2, 30: 3}
+        assert relabeled.has_edge(1, 3)
+
+    def test_union_disjoint(self):
+        a = Graph([1, 2], [(1, 2)])
+        b = Graph([3, 4], [(3, 4)])
+        u = a.union_disjoint(b)
+        assert u.n == 4 and u.m == 2
+
+    def test_union_overlapping_rejected(self):
+        with pytest.raises(GraphError):
+            path_graph(3).union_disjoint(path_graph(2))
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Graph([1, 2], [(1, 2)])
+        b = Graph([2, 1], [(2, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Graph([1, 2], [])
+
+    def test_repr(self):
+        assert repr(path_graph(4)) == "Graph(n=4, m=3)"
+
+    def test_normalize_edge(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)

@@ -1,0 +1,236 @@
+"""Tests for the lower-bound gadget families.
+
+The whole point of these constructions is that their diameter is a
+function of hidden disjointness/membership instances, with a narrow
+communication cut between the players.  Each property is verified
+against the sequential oracle over randomized instances.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.congest.errors import GraphError
+from repro.graphs import (
+    communication_lower_bound_bits,
+    cut_width,
+    cycle_graph,
+    diameter,
+    diameter_2_vs_3,
+    diameter_gap2_family,
+    girth,
+    girth3_two_bfs_family,
+    input_bits,
+    mirror_gadget,
+    pad_with_path,
+    random_disjointness_instance,
+    random_membership_instance,
+    subdivide,
+)
+from repro.graphs.analysis import bfs_distances
+
+instance_params = st.tuples(
+    st.integers(min_value=2, max_value=6),       # p
+    st.booleans(),                               # intersecting
+    st.floats(min_value=0.0, max_value=0.9),     # density
+    st.integers(min_value=0, max_value=10**6),   # seed
+)
+
+
+class TestDisjointnessInstances:
+    @given(instance_params)
+    def test_promise_respected(self, params):
+        p, intersecting, density, seed = params
+        x, y = random_disjointness_instance(
+            p, intersecting=intersecting, density=density, seed=seed
+        )
+        if intersecting:
+            assert len(x & y) == 1
+        else:
+            assert not (x & y)
+        universe_ok = all(
+            1 <= i <= p and 1 <= j <= p for (i, j) in x | y
+        )
+        assert universe_ok
+
+
+class TestDiameter2vs3:
+    @given(instance_params)
+    def test_planted_diameter_matches_oracle(self, params):
+        p, intersecting, density, seed = params
+        x, y = random_disjointness_instance(
+            p, intersecting=intersecting, density=density, seed=seed
+        )
+        gadget = diameter_2_vs_3(p, x, y)
+        assert gadget.planted_diameter == (3 if intersecting else 2)
+        assert diameter(gadget.graph) == gadget.planted_diameter
+        assert gadget.disjoint == (not intersecting)
+
+    def test_structure(self):
+        x, y = random_disjointness_instance(4, intersecting=False, seed=1)
+        gadget = diameter_2_vs_3(4, x, y)
+        assert gadget.graph.n == 4 * 4 + 2
+        assert cut_width(gadget) == 2 * 4 + 1
+        assert input_bits(gadget) == 16
+        assert communication_lower_bound_bits(gadget) == 16
+        # Sides partition the node set.
+        assert gadget.alice_side | gadget.bob_side == \
+            gadget.graph.node_set()
+        assert not (gadget.alice_side & gadget.bob_side)
+        # Cut edges are exactly the side-crossing edges.
+        crossing = {
+            edge for edge in gadget.graph.edges
+            if (edge[0] in gadget.alice_side) != (edge[1] in gadget.alice_side)
+        }
+        assert crossing == set(gadget.cut_edges)
+
+    def test_cut_grows_linearly_while_input_grows_quadratically(self):
+        widths = []
+        bits = []
+        for p in (2, 4, 8):
+            x, y = random_disjointness_instance(p, intersecting=False, seed=p)
+            gadget = diameter_2_vs_3(p, x, y)
+            widths.append(cut_width(gadget))
+            bits.append(input_bits(gadget))
+        assert widths == [5, 9, 17]
+        assert bits == [4, 16, 64]
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            diameter_2_vs_3(1, frozenset(), frozenset())
+        with pytest.raises(GraphError):
+            diameter_2_vs_3(3, frozenset({(7, 1)}), frozenset())
+        with pytest.raises(GraphError):
+            diameter_2_vs_3(
+                3,
+                frozenset({(1, 1), (2, 2)}),
+                frozenset({(1, 1), (2, 2)}),
+            )
+
+
+class TestMirrorGadget:
+    @given(instance_params)
+    def test_planted_diameter_matches_oracle(self, params):
+        p, intersecting, density, seed = params
+        x, y = random_disjointness_instance(
+            p, intersecting=intersecting, density=density, seed=seed
+        )
+        gadget = mirror_gadget(p, x, y)
+        assert gadget.planted_diameter == (4 if intersecting else 3)
+        assert diameter(gadget.graph) == gadget.planted_diameter
+
+    def test_size(self):
+        x, y = random_disjointness_instance(3, intersecting=True, seed=2)
+        gadget = mirror_gadget(3, x, y)
+        assert gadget.graph.n == 6 * 3 + 3
+
+
+class TestGap2Family:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.booleans(),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_diameter_is_d_or_d_plus_2(self, p, intersecting, ell, seed):
+        xs, ys = random_membership_instance(
+            p, intersecting=intersecting, seed=seed
+        )
+        gadget = diameter_gap2_family(p, ell, xs, ys)
+        d = 2 * ell + 3
+        expected = d if intersecting else d + 2
+        assert gadget.planted_diameter == expected
+        assert diameter(gadget.graph) == expected
+        assert gadget.intersecting == intersecting
+
+    def test_witness_pair_realizes_diameter(self):
+        xs, ys = random_membership_instance(5, intersecting=False, seed=3)
+        gadget = diameter_gap2_family(5, 3, xs, ys)
+        u, v = gadget.witness_pair
+        assert bfs_distances(gadget.graph, u)[v] == gadget.planted_diameter
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            diameter_gap2_family(5, 1, frozenset({1}), frozenset({2}))
+        with pytest.raises(GraphError):
+            diameter_gap2_family(5, 3, frozenset(), frozenset({2}))
+        with pytest.raises(GraphError):
+            diameter_gap2_family(5, 3, frozenset({9}), frozenset({2}))
+
+
+class TestGirth3Family:
+    @given(st.integers(min_value=3, max_value=6), st.booleans(),
+           st.integers(min_value=0, max_value=1000))
+    def test_girth_is_3_and_verdict_tracks_diameter(self, p, intersecting,
+                                                    seed):
+        x, y = random_disjointness_instance(
+            p, intersecting=intersecting, seed=seed
+        )
+        gadget = girth3_two_bfs_family(p, x, y)
+        assert girth(gadget.graph) == 3
+        assert (diameter(gadget.graph) <= 2) == (not intersecting)
+
+    def test_needs_p_at_least_3(self):
+        with pytest.raises(GraphError):
+            girth3_two_bfs_family(2, frozenset(), frozenset())
+
+
+class TestPadWithPath:
+    """Lemma 11's extension of the hardness family to larger D."""
+
+    @staticmethod
+    def row1_instance(p, intersecting, seed):
+        x, y = random_disjointness_instance(p, intersecting=False,
+                                            seed=seed)
+        if not intersecting:
+            return x, y
+        xs, ys = set(x), set(y)
+        xs.add((1, 2))
+        ys.add((1, 2))
+        ys -= xs - {(1, 2)}
+        return frozenset(xs), frozenset(ys)
+
+    @pytest.mark.parametrize("length", [1, 2, 5])
+    @pytest.mark.parametrize("intersecting", [True, False])
+    def test_diameter_shifts_by_length(self, length, intersecting):
+        x, y = self.row1_instance(4, intersecting, seed=3)
+        gadget = diameter_2_vs_3(4, x, y)
+        padded = pad_with_path(gadget, length)
+        base = 3 if intersecting else 2
+        assert padded.planted_diameter == base + length
+        assert diameter(padded.graph) == base + length
+
+    def test_cut_unchanged(self):
+        x, y = self.row1_instance(4, False, seed=1)
+        gadget = diameter_2_vs_3(4, x, y)
+        padded = pad_with_path(gadget, 4)
+        assert padded.cut_edges == gadget.cut_edges
+
+    def test_witness_outside_row1_rejected(self):
+        x = frozenset({(2, 3)})
+        y = frozenset({(2, 3)})
+        gadget = diameter_2_vs_3(4, x, y)
+        with pytest.raises(GraphError):
+            pad_with_path(gadget, 3)
+
+    def test_length_validated(self):
+        x, y = self.row1_instance(3, False, seed=0)
+        with pytest.raises(GraphError):
+            pad_with_path(diameter_2_vs_3(3, x, y), 0)
+
+
+class TestSubdivide:
+    def test_distances_scale_exactly(self):
+        g = cycle_graph(6)
+        for k in (1, 2, 3):
+            s = subdivide(g, k)
+            original = bfs_distances(g, 1)
+            stretched = bfs_distances(s, 1)
+            for node, dist in original.items():
+                assert stretched[node] == k * dist
+            assert s.m == k * g.m
+            assert girth(s) == k * girth(g)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(GraphError):
+            subdivide(cycle_graph(3), 0)

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_graph
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    dumbbell_with_path,
+    grid_graph,
+    path_graph,
+    star_graph,
+    torus_graph,
+)
+
+
+class TestGraphSpecs:
+    @pytest.mark.parametrize("spec,expected", [
+        ("path:7", path_graph(7)),
+        ("cycle:9", cycle_graph(9)),
+        ("star:5", star_graph(5)),
+        ("grid:3x4", grid_graph(3, 4)),
+        ("torus:4x5", torus_graph(4, 5)),
+        ("dumbbell:6:3", dumbbell_with_path(6, 3)),
+    ])
+    def test_deterministic_specs(self, spec, expected):
+        assert parse_graph(spec) == expected
+
+    def test_er_spec_connected(self):
+        graph = parse_graph("er:30:p=0.1:seed=5")
+        assert graph.n == 30
+        assert graph.is_connected()
+
+    def test_tree_spec(self):
+        graph = parse_graph("tree:12:seed=2")
+        assert graph.n == 12 and graph.m == 11
+
+    def test_file_spec(self, tmp_path):
+        from repro.graphs.io import save
+
+        target = tmp_path / "g.txt"
+        save(path_graph(5), target)
+        assert parse_graph(f"file:{target}") == path_graph(5)
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            parse_graph("hypercube:8")
+
+
+class TestCommands:
+    def run(self, argv, capsys):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_apsp(self, capsys):
+        out = self.run(["apsp", "torus:4x4", "--show-row", "1"], capsys)
+        assert "diameter: 4" in out
+        assert "distances from node 1" in out
+
+    def test_ssp(self, capsys):
+        out = self.run(["ssp", "path:6", "--sources", "1,6"], capsys)
+        assert "S = [1, 6]" in out
+        assert "node 1:" in out
+
+    def test_properties(self, capsys):
+        out = self.run(["properties", "cycle:8"], capsys)
+        assert "girth:      8" in out
+        assert "diameter:   4" in out
+
+    def test_approx(self, capsys):
+        out = self.run(["approx", "dumbbell:10:8", "--epsilon", "1.0"],
+                       capsys)
+        assert "diameter estimate" in out
+
+    def test_girth_exact_and_approx(self, capsys):
+        exact = self.run(["girth", "cycle:12"], capsys)
+        assert "girth: 12" in exact
+        approx = self.run(["girth", "cycle:12", "--epsilon", "0.5"],
+                          capsys)
+        assert "girth: 12" in approx
+
+    def test_two_vs_four(self, capsys):
+        out = self.run(
+            ["two-vs-four", "--family", "diameter4", "--n", "30"], capsys
+        )
+        assert "diameter 4" in out
+
+    def test_baseline(self, capsys):
+        out = self.run(
+            ["baseline", "path:12", "--algorithm", "sequential-bfs"],
+            capsys,
+        )
+        assert "Algorithm 1 on the same graph" in out
+
+    def test_leader(self, capsys):
+        out = self.run(["leader", "er:15:p=0.3:seed=1"], capsys)
+        assert "leader: 1" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,64 @@
+"""Smoke tests: the example scripts run end to end and say what they
+promise.  (The slowest examples — full sweeps — are exercised at
+reduced scope by the unit tests of the algorithms they call; here we
+run the fast ones whole.)"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "APSP finished in" in out
+    assert "diameter = 6" in out
+    assert "shortest route" in out
+
+
+def test_routing_tables(capsys):
+    out = run_example("routing_tables.py", capsys)
+    assert "Algorithm 1 (paper)" in out
+    assert "link-state" in out
+    assert "routing table of router" in out
+
+
+def test_social_network_center(capsys):
+    out = run_example("social_network_center.py", capsys)
+    assert "exact (Lemmas 5-6)" in out
+    assert "center candidates" in out
+    assert "Remark 2" in out
+
+
+def test_lower_bound_demo(capsys):
+    out = run_example("lower_bound_demo.py", capsys)
+    assert "disjoint" in out and "intersecting" in out
+    assert "Lemma 11" in out
+
+
+def test_girth_demo(capsys):
+    out = run_example("girth_demo.py", capsys)
+    assert "g=64" in out
+    assert "inf" in out
+
+
+@pytest.mark.slow
+def test_diameter_sweep(capsys):
+    out = run_example("diameter_sweep.py", capsys)
+    assert "Cor1 branch" in out
+
+
+def test_all_examples_have_docstrings_and_main():
+    for script in sorted(EXAMPLES.glob("*.py")):
+        text = script.read_text(encoding="utf-8")
+        assert '"""' in text, script.name
+        assert '__name__ == "__main__"' in text, script.name
+        assert "Run:" in text, script.name

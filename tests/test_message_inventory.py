@@ -1,0 +1,72 @@
+"""Global message-inventory invariants.
+
+Every registered message type must fit the default CONGEST budget at
+every network size — the blanket version of the paper's "messages carry
+O(log n) bits" claims, checked once for the whole inventory so adding
+an oversized message type fails loudly.
+"""
+
+import pytest
+
+from repro.congest.message import MESSAGE_REGISTRY, SizeModel
+from repro.congest.network import default_bandwidth
+
+# Importing core registers the protocol messages.
+import repro.core  # noqa: F401
+
+SIZES = [2, 10, 100, 1000, 10**4, 10**6]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_every_message_fits_default_bandwidth(n):
+    model = SizeModel(n)
+    budget = default_bandwidth(n)
+    for cls in MESSAGE_REGISTRY:
+        sample = _sample(cls, n)
+        assert sample.size_bits(model) <= budget, (cls.__name__, n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_message_sizes_are_logarithmic(n):
+    """Size grows with log n, never with n."""
+    small = SizeModel(max(2, n // 100))
+    big = SizeModel(n)
+    for cls in MESSAGE_REGISTRY:
+        sample = _sample(cls, 1)
+        growth = sample.size_bits(big) - sample.size_bits(small)
+        # At most ~7 extra bits per field for a 100x size increase.
+        assert growth <= 8 * max(1, len(cls.FIELDS)), cls.__name__
+
+
+def test_worst_case_bundles_fit():
+    """The specific bundles the algorithms co-schedule on one edge."""
+    from repro.core.messages import BfsToken, DownMsg, JoinMsg, PebbleMsg
+
+    for n in SIZES:
+        model = SizeModel(n)
+        budget = default_bandwidth(n)
+        bundles = [
+            # APSP traversal: a wave token + the pebble.
+            [BfsToken(root=1, dist=0), PebbleMsg()],
+            # APSP finish: a wave token + the finish broadcast.
+            [BfsToken(root=1, dist=0), DownMsg(root=1, value=0)],
+            # Tree building: a wave token + a join.
+            [BfsToken(root=1, dist=0), JoinMsg(root=1)],
+        ]
+        for bundle in bundles:
+            total = sum(msg.size_bits(model) for msg in bundle)
+            assert total <= budget, (n, [type(m).__name__
+                                         for m in bundle])
+
+
+def _sample(cls, n):
+    """Instantiate a message type with minimal legal field values."""
+    kwargs = {}
+    for name, kind in cls.FIELDS:
+        if kind == "id":
+            kwargs[name] = 1
+        elif kind == "flag":
+            kwargs[name] = False
+        else:
+            kwargs[name] = 0
+    return cls(**kwargs)

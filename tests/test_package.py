@@ -1,0 +1,26 @@
+"""Smoke tests for the package surface."""
+
+import repro
+from repro import congest, core, graphs
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_from_docstring():
+    g = graphs.torus_graph(4, 4)
+    apsp = core.run_apsp(g)
+    assert apsp.diameter() == graphs.diameter(g)
+    assert apsp.rounds > 0
+
+
+def test_all_exports_resolve():
+    for module in (congest, core, graphs):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+def test_layering_core_imports_nothing_private_from_tests():
+    # The public surface exposes the three documented layers.
+    assert repro.__all__ == ["congest", "core", "graphs", "__version__"]
