@@ -10,10 +10,38 @@ pytest-benchmark timing to an experiment run.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import List
 
+import pytest
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def harness_run_cache(tmp_path_factory):
+    """Share one content-addressed run cache across the whole suite.
+
+    Experiments that sweep through the campaign harness (e1/e16,
+    e11a/e11b, …) memoize their runs here, so overlapping sweeps — and
+    the quick-scale timing rows re-running what the paper-scale row
+    already computed — hit the cache instead of re-simulating.  Set
+    ``REPRO_BENCH_CACHE_DIR`` to persist the cache across benchmark
+    invocations.
+    """
+    from repro.experiments import base
+
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR") or str(
+        tmp_path_factory.mktemp("run-cache")
+    )
+    previous = base.configure_execution(cache_dir=cache_dir)
+    yield
+    base.configure_execution(
+        jobs=previous.jobs,
+        cache_dir=previous.cache_dir,
+        use_cache=previous.use_cache,
+    )
 
 _TABLES: "List[str]" = []
 

@@ -24,6 +24,7 @@ Examples::
     python -m repro two-vs-four --family diameter2 --n 80
     python -m repro baseline path:32 --algorithm distance-vector
     python -m repro leader er:30:p=0.2
+    python -m repro campaign --graphs "path:{n}" --sizes 20,40 --jobs 4
 """
 
 from __future__ import annotations
@@ -33,56 +34,21 @@ import sys
 from typing import List, Optional
 
 from . import core, graphs
-from .graphs import io as graph_io
+from .graphs.specs import GraphSpecError
+from .graphs.specs import parse_graph as _parse_graph_spec
 
 
 def parse_graph(spec: str) -> graphs.Graph:
-    """Turn a compact graph spec (see module docstring) into a Graph."""
-    parts = spec.split(":")
-    family = parts[0]
-    args = parts[1:]
-    options = {}
-    positional: List[str] = []
-    for arg in args:
-        if "=" in arg:
-            key, value = arg.split("=", 1)
-            options[key] = value
-        else:
-            positional.append(arg)
+    """Turn a compact graph spec (see module docstring) into a Graph.
 
-    def dims(text: str):
-        rows, _, cols = text.partition("x")
-        return int(rows), int(cols)
-
-    if family == "path":
-        return graphs.path_graph(int(positional[0]))
-    if family == "cycle":
-        return graphs.cycle_graph(int(positional[0]))
-    if family == "star":
-        return graphs.star_graph(int(positional[0]))
-    if family == "complete":
-        return graphs.complete_graph(int(positional[0]))
-    if family == "grid":
-        return graphs.grid_graph(*dims(positional[0]))
-    if family == "torus":
-        return graphs.torus_graph(*dims(positional[0]))
-    if family == "tree":
-        return graphs.random_tree(
-            int(positional[0]), seed=int(options.get("seed", 0))
-        )
-    if family == "er":
-        return graphs.erdos_renyi_graph(
-            int(positional[0]),
-            float(options.get("p", 0.1)),
-            seed=int(options.get("seed", 0)),
-            ensure_connected=True,
-        )
-    if family == "dumbbell":
-        return graphs.dumbbell_with_path(int(positional[0]),
-                                         int(positional[1]))
-    if family == "file":
-        return graph_io.load(positional[0])
-    raise SystemExit(f"unknown graph family {family!r} in spec {spec!r}")
+    The syntax lives in :mod:`repro.graphs.specs` (shared with the
+    campaign harness); this wrapper just converts parse failures into
+    the CLI's exit discipline.
+    """
+    try:
+        return _parse_graph_spec(spec)
+    except GraphSpecError as exc:
+        raise SystemExit(str(exc))
 
 
 def _print_cost(metrics) -> None:
@@ -191,22 +157,94 @@ def cmd_experiment(args: argparse.Namespace) -> None:
         for exp_id in experiments.available():
             print(exp_id)
         return
-    ids = (experiments.available() if args.id == "all"
-           else [args.id])
-    failures = []
-    collected = []
-    for exp_id in ids:
-        result = experiments.run(exp_id, scale=args.scale)
-        collected.append(result)
-        print(result.render())
-        print()
-        if not result.passed:
-            failures.append(exp_id)
-    if args.output:
-        experiments.write_report(collected, args.output)
-        print(f"report written to {args.output}")
+    overrides = {}
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = args.cache_dir
+    if args.no_cache:
+        overrides["use_cache"] = False
+    previous = (
+        experiments.configure_execution(**overrides) if overrides else None
+    )
+    try:
+        ids = (experiments.available() if args.id == "all"
+               else [args.id])
+        failures = []
+        collected = []
+        for exp_id in ids:
+            result = experiments.run(exp_id, scale=args.scale)
+            collected.append(result)
+            print(result.render())
+            print()
+            if not result.passed:
+                failures.append(exp_id)
+        if args.output:
+            experiments.write_report(collected, args.output)
+            print(f"report written to {args.output}")
+    finally:
+        if previous is not None:
+            experiments.configure_execution(
+                jobs=previous.jobs,
+                cache_dir=previous.cache_dir,
+                use_cache=previous.use_cache,
+            )
     if failures:
         raise SystemExit(f"experiments failed checks: {failures}")
+
+
+def _csv(text: Optional[str], cast=str) -> List:
+    """Split a comma-separated flag value, applying ``cast`` per item."""
+    if not text:
+        return []
+    return [cast(item.strip()) for item in text.split(",") if item.strip()]
+
+
+def cmd_campaign(args: argparse.Namespace) -> None:
+    """``repro campaign``: run a cached, parallel sweep (docs/harness.md)."""
+    from . import harness
+
+    if args.spec:
+        if args.graphs:
+            raise SystemExit(
+                "give either a spec file or --graphs flags, not both"
+            )
+        try:
+            spec = harness.load_spec(args.spec)
+        except (OSError, harness.SpecError) as exc:
+            raise SystemExit(str(exc))
+    elif args.graphs:
+        data = {
+            "name": args.name,
+            "graphs": _csv(args.graphs),
+            "sizes": _csv(args.sizes, int),
+            "seeds": _csv(args.seeds, int) or [0],
+            "algorithms": _csv(args.algorithms) or ["apsp"],
+            "policies": _csv(args.policies) or ["strict"],
+            "salt": args.salt,
+        }
+        try:
+            spec = harness.CampaignSpec.from_dict(data)
+        except harness.SpecError as exc:
+            raise SystemExit(str(exc))
+    else:
+        raise SystemExit(
+            "campaign needs a JSON spec file or --graphs (see docs/harness.md)"
+        )
+    out = args.out or f"{spec.name}.jsonl"
+    summary = harness.run_campaign(
+        spec,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        store_path=out,
+        append=args.append,
+        show_progress=not args.quiet,
+    )
+    print(summary.describe())
+    print(f"results -> {out}")
+    if summary.failures:
+        raise SystemExit(f"{summary.failures} task(s) failed")
 
 
 def cmd_leader(args: argparse.Namespace) -> None:
@@ -297,7 +335,48 @@ def build_parser() -> argparse.ArgumentParser:
                    default="quick")
     p.add_argument("--output", default=None,
                    help="also write a markdown report to this path")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for harness-backed sweeps")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed run cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute every run (still refreshes the cache)")
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a declarative sweep: parallel workers + run cache "
+             "+ JSONL results (see docs/harness.md)",
+    )
+    p.add_argument("spec", nargs="?", default=None,
+                   help="JSON campaign spec file")
+    p.add_argument("--name", default="campaign",
+                   help="campaign label (flag mode)")
+    p.add_argument("--graphs", default=None,
+                   help="comma-separated graph specs; may use {n}")
+    p.add_argument("--sizes", default=None,
+                   help="comma-separated sizes filling {n}")
+    p.add_argument("--seeds", default="0",
+                   help="comma-separated simulator seeds")
+    p.add_argument("--algorithms", default="apsp",
+                   help="comma-separated algorithm names")
+    p.add_argument("--policies", default="strict",
+                   help="comma-separated bandwidth policies")
+    p.add_argument("--salt", default="",
+                   help="extra cache-key salt")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default 1)")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed run cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute every run (still refreshes the cache)")
+    p.add_argument("--out", default=None,
+                   help="JSONL result store path (default <name>.jsonl)")
+    p.add_argument("--append", action="store_true",
+                   help="append to --out instead of truncating")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress reporting")
+    p.set_defaults(func=cmd_campaign)
 
     return parser
 

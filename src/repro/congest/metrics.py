@@ -55,6 +55,57 @@ class RunMetrics:
         self.messages_per_round.append(round_messages)
         self.bits_per_round.append(round_bits)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-pure rendering (harness records, result stores).
+
+        ``edge_bits`` becomes a sorted ``[sender, receiver, bits]``
+        list (JSON has no tuple keys) and is omitted entirely when edge
+        tracking was off, matching the ``Optional`` semantics.
+        """
+        data: Dict[str, object] = {
+            "rounds": self.rounds,
+            "messages_total": self.messages_total,
+            "bits_total": self.bits_total,
+            "max_edge_bits_in_round": self.max_edge_bits_in_round,
+            "max_edge_messages_in_round": self.max_edge_messages_in_round,
+            "messages_per_round": list(self.messages_per_round),
+            "bits_per_round": list(self.bits_per_round),
+        }
+        if self.edge_bits is not None:
+            data["edge_bits"] = [
+                [sender, receiver, bits]
+                for (sender, receiver), bits in sorted(self.edge_bits.items())
+            ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunMetrics":
+        """Inverse of :meth:`to_dict` (accepts its exact shape)."""
+        edge_bits = None
+        if "edge_bits" in data:
+            edge_bits = {
+                (int(sender), int(receiver)): int(bits)
+                for sender, receiver, bits in data["edge_bits"]  # type: ignore[union-attr]
+            }
+        return cls(
+            rounds=int(data.get("rounds", 0)),
+            messages_total=int(data.get("messages_total", 0)),
+            bits_total=int(data.get("bits_total", 0)),
+            max_edge_bits_in_round=int(
+                data.get("max_edge_bits_in_round", 0)
+            ),
+            max_edge_messages_in_round=int(
+                data.get("max_edge_messages_in_round", 0)
+            ),
+            messages_per_round=[
+                int(x) for x in data.get("messages_per_round", [])
+            ],
+            bits_per_round=[
+                int(x) for x in data.get("bits_per_round", [])
+            ],
+            edge_bits=edge_bits,
+        )
+
     def bits_across_cut(self, side_a: FrozenSet[int]) -> int:
         """Total bits that crossed the cut ``(side_a, V - side_a)``.
 

@@ -175,6 +175,7 @@ def run_approx_properties(
     *,
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
 ) -> ApproxPropertySummary:
     """Run the Theorem 4 / Corollary 4 pipeline on ``graph``."""
     validate_apsp_input(graph)
@@ -187,6 +188,7 @@ def run_approx_properties(
         inputs=inputs,
         seed=seed,
         bandwidth_bits=bandwidth_bits,
+        policy=policy,
     )
     outcome = network.run()
     return ApproxPropertySummary(

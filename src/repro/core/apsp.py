@@ -234,6 +234,7 @@ def run_apsp(
     collect_girth: bool = False,
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
     track_edges: bool = False,
 ) -> ApspSummary:
     """Run Algorithm 1 on ``graph`` and assemble all local results.
@@ -248,6 +249,7 @@ def run_apsp(
         factory,
         seed=seed,
         bandwidth_bits=bandwidth_bits,
+        policy=policy,
         track_edges=track_edges,
     )
     outcome = network.run()

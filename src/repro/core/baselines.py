@@ -312,6 +312,7 @@ def run_baseline_apsp(
     *,
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
 ) -> ApspSummary:
     """Run one of the Section 3.1 baselines end to end.
 
@@ -333,6 +334,6 @@ def run_baseline_apsp(
         )
     outcome = Network(
         graph, factory, seed=seed, bandwidth_bits=bandwidth_bits,
-        max_rounds=200 * graph.n + 20000,
+        policy=policy, max_rounds=200 * graph.n + 20000,
     ).run()
     return ApspSummary(results=outcome.results, metrics=outcome.metrics)

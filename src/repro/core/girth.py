@@ -83,10 +83,12 @@ class GirthSummary:
 
 
 def run_exact_girth(graph: Graph, *, seed: int = 0,
-                    bandwidth_bits: Optional[int] = None) -> GirthSummary:
+                    bandwidth_bits: Optional[int] = None,
+                    policy: str = "strict") -> GirthSummary:
     """Lemma 7: exact girth in ``O(n)`` rounds."""
     summary = run_graph_properties(
-        graph, include_girth=True, seed=seed, bandwidth_bits=bandwidth_bits
+        graph, include_girth=True, seed=seed,
+        bandwidth_bits=bandwidth_bits, policy=policy,
     )
     results = {
         uid: GirthEstimate(uid=uid, girth=res.girth, exact=True, phases=0)
@@ -157,6 +159,7 @@ def run_approx_girth(
     *,
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
 ) -> GirthSummary:
     """Theorem 5: ``(×, 1+ε)``-approximate girth."""
     validate_apsp_input(graph)
@@ -165,7 +168,7 @@ def run_approx_girth(
     inputs = {uid: epsilon for uid in graph.nodes}
     network = Network(
         graph, GirthApproxNode, inputs=inputs, seed=seed,
-        bandwidth_bits=bandwidth_bits,
+        bandwidth_bits=bandwidth_bits, policy=policy,
     )
     outcome = network.run()
     return GirthSummary(results=outcome.results, metrics=outcome.metrics)

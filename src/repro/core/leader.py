@@ -93,6 +93,7 @@ def run_leader_election(
     *,
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
 ) -> Tuple[Mapping[int, LeaderInfo], RunMetrics]:
     """Elect the minimum id; returns ``(per-node LeaderInfo, metrics)``.
 
@@ -104,7 +105,7 @@ def run_leader_election(
         raise GraphError("leader election requires a connected graph")
     outcome = Network(
         graph, LeaderElectionNode, seed=seed,
-        bandwidth_bits=bandwidth_bits,
+        bandwidth_bits=bandwidth_bits, policy=policy,
     ).run()
     return outcome.results, outcome.metrics
 

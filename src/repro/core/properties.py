@@ -91,6 +91,7 @@ def run_graph_properties(
     include_girth: bool = True,
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
     track_edges: bool = False,
 ) -> PropertySummary:
     """Compute all Lemma 2–7 properties in one ``O(n)``-round run."""
@@ -101,6 +102,7 @@ def run_graph_properties(
         factory,
         seed=seed,
         bandwidth_bits=bandwidth_bits,
+        policy=policy,
         track_edges=track_edges,
     )
     outcome = network.run()

@@ -267,6 +267,7 @@ def run_ssp(
     *,
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
     track_edges: bool = False,
     priority: str = PRIORITY_DIST_ID,
 ) -> SspSummary:
@@ -284,6 +285,7 @@ def run_ssp(
         inputs=inputs,
         seed=seed,
         bandwidth_bits=bandwidth_bits,
+        policy=policy,
         track_edges=track_edges,
     )
     result = network.run()

@@ -139,11 +139,13 @@ def run_two_vs_four(
     *,
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
 ) -> TwoVsFourSummary:
     """Run Algorithm 3 on a graph promised to have diameter 2 or 4."""
     validate_apsp_input(graph)
     outcome = Network(
-        graph, TwoVsFourNode, seed=seed, bandwidth_bits=bandwidth_bits
+        graph, TwoVsFourNode, seed=seed, bandwidth_bits=bandwidth_bits,
+        policy=policy,
     ).run()
     return TwoVsFourSummary(results=outcome.results,
                             metrics=outcome.metrics)

@@ -21,20 +21,28 @@ combinations), ``e16`` (congestion audit).
 
 from .base import (
     SCALES,
+    ExecutionConfig,
     ExperimentResult,
     available,
+    configure_execution,
+    execution_config,
     fit_loglog_slope,
     run,
     run_all,
+    run_campaign,
     write_report,
 )
 
 __all__ = [
+    "ExecutionConfig",
     "ExperimentResult",
     "SCALES",
     "available",
+    "configure_execution",
+    "execution_config",
     "fit_loglog_slope",
     "run",
     "run_all",
+    "run_campaign",
     "write_report",
 ]

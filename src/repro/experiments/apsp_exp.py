@@ -1,31 +1,45 @@
-"""E1 + E16 — Theorem 1: APSP in Θ̃(n), congestion-free (Lemma 1)."""
+"""E1 + E16 — Theorem 1: APSP in Θ̃(n), congestion-free (Lemma 1).
+
+Both sweeps execute through the campaign harness
+(:func:`repro.experiments.base.run_campaign`): graph instances are
+described as spec strings, so runs shard across worker processes under
+``--jobs`` and memoize in the content-addressed run cache.  E16 reruns
+a subset of E1's tasks (the Erdős–Rényi column) and therefore costs
+nothing extra when a shared cache is configured — the benchmark suite
+relies on exactly that.
+"""
 
 from __future__ import annotations
 
 from ..congest.network import default_bandwidth
-from ..core.apsp import run_apsp
-from ..graphs import (
-    erdos_renyi_graph,
-    path_graph,
-    random_tree,
-    torus_graph,
+from ..harness.spec import Task
+from .base import (
+    ExperimentResult,
+    experiment,
+    fit_loglog_slope,
+    run_campaign,
 )
-from .base import ExperimentResult, experiment, fit_loglog_slope
 
 SWEEPS = {"quick": [20, 40], "paper": [30, 60, 90, 120]}
 
 
-def families(n: int):
-    """The four topology families of the E1 sweep."""
+def family_specs(n: int):
+    """The four topology families of the E1 sweep, as graph specs."""
     side = max(3, round(n ** 0.5))
     return {
-        "path": path_graph(n),
-        "tree": random_tree(n, seed=7),
-        "torus": torus_graph(side, max(3, n // side)),
-        "er(8/n)": erdos_renyi_graph(
-            n, min(1.0, 8.0 / n), seed=3, ensure_connected=True
-        ),
+        "path": f"path:{n}",
+        "tree": f"tree:{n}:seed=7",
+        "torus": f"torus:{side}x{max(3, n // side)}",
+        "er(8/n)": _er_spec(n),
     }
+
+
+def _er_spec(n: int) -> str:
+    return f"er:{n}:p={min(1.0, 8.0 / n)!r}:seed=3"
+
+
+def _apsp_task(spec: str) -> Task:
+    return Task.make(spec, "apsp", {"seed": 0, "policy": "strict"})
 
 
 @experiment("e1")
@@ -36,17 +50,22 @@ def e1_apsp_linear(scale: str) -> ExperimentResult:
         title="APSP rounds vs n (Thm 1 predicts linear)",
         headers=["family", "n", "m", "rounds", "rounds/n"],
     )
-    per_family = {}
+    labels = []
+    tasks = []
     for n in SWEEPS[scale]:
-        for family, graph in families(n).items():
-            summary = run_apsp(graph)
-            per_family.setdefault(family, []).append(
-                (graph.n, summary.rounds)
-            )
-            result.rows.append((
-                family, graph.n, graph.m, summary.rounds,
-                f"{summary.rounds / graph.n:.2f}",
-            ))
+        for family, spec in family_specs(n).items():
+            labels.append(family)
+            tasks.append(_apsp_task(spec))
+    records = run_campaign(tasks, name="e1")
+    per_family = {}
+    for family, record in zip(labels, records):
+        n = record["graph"]["n"]
+        rounds = record["metrics"]["rounds"]
+        per_family.setdefault(family, []).append((n, rounds))
+        result.rows.append((
+            family, n, record["graph"]["m"], rounds,
+            f"{rounds / n:.2f}",
+        ))
     for family, points in per_family.items():
         slope = fit_loglog_slope([n for n, _ in points],
                                  [r for _, r in points])
@@ -66,20 +85,20 @@ def e16_congestion_free(scale: str) -> ExperimentResult:
         headers=["n", "B (bits)", "max edge bits/round",
                  "max edge msgs/round"],
     )
-    for n in SWEEPS[scale]:
-        graph = erdos_renyi_graph(
-            n, min(1.0, 8.0 / n), seed=3, ensure_connected=True
-        )
-        summary = run_apsp(graph)
-        budget = default_bandwidth(graph.n)
+    tasks = [_apsp_task(_er_spec(n)) for n in SWEEPS[scale]]
+    records = run_campaign(tasks, name="e16")
+    for record in records:
+        n = record["graph"]["n"]
+        metrics = record["metrics"]
+        budget = default_bandwidth(n)
         result.rows.append((
-            graph.n, budget,
-            summary.metrics.max_edge_bits_in_round,
-            summary.metrics.max_edge_messages_in_round,
+            n, budget,
+            metrics["max_edge_bits_in_round"],
+            metrics["max_edge_messages_in_round"],
         ))
         result.require(
             "within-budget",
-            summary.metrics.max_edge_bits_in_round <= budget,
+            metrics["max_edge_bits_in_round"] <= budget,
         )
     result.notes.append(
         "every run stays within B — the pebble schedule is "

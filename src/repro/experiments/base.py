@@ -18,8 +18,16 @@ Experiments accept a ``scale``:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 #: Valid scales.
 SCALES = ("quick", "paper")
@@ -149,6 +157,109 @@ def write_report(results: Sequence[ExperimentResult], path) -> None:
         lines.append(f"Checks: {status}")
         lines.append("")
     Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Harness integration: cached / parallel sweep execution.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Process-wide defaults for how experiment sweeps execute.
+
+    Experiments that route their sweeps through :func:`run_campaign`
+    pick these up automatically; the CLI (``--jobs``/``--cache-dir``)
+    and the benchmark suite set them via :func:`configure_execution`.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+
+
+_EXECUTION = ExecutionConfig()
+
+#: Sentinel distinguishing "not passed" from an explicit ``None``.
+_UNSET: Any = object()
+
+
+def execution_config() -> ExecutionConfig:
+    """The current execution defaults (a copy)."""
+    return replace(_EXECUTION)
+
+
+def configure_execution(
+    *,
+    jobs: Optional[int] = None,
+    cache_dir: Any = _UNSET,
+    use_cache: Optional[bool] = None,
+) -> ExecutionConfig:
+    """Update the execution defaults; returns the *previous* config.
+
+    Only the arguments actually passed change; restore by passing the
+    returned config's fields back in.
+    """
+    global _EXECUTION
+    previous = _EXECUTION
+    _EXECUTION = ExecutionConfig(
+        jobs=previous.jobs if jobs is None else max(1, int(jobs)),
+        cache_dir=(
+            previous.cache_dir if cache_dir is _UNSET else cache_dir
+        ),
+        use_cache=(
+            previous.use_cache if use_cache is None else bool(use_cache)
+        ),
+    )
+    return previous
+
+
+def run_campaign(
+    tasks: Sequence[Any],
+    *,
+    name: str = "experiment-sweep",
+    jobs: Optional[int] = None,
+    cache_dir: Any = _UNSET,
+    use_cache: Optional[bool] = None,
+    salt: str = "",
+) -> List[Dict[str, Any]]:
+    """Execute a sweep through the campaign harness.
+
+    ``tasks`` are :class:`repro.harness.Task` objects (or their dict
+    payloads).  Execution honours the session :class:`ExecutionConfig`
+    — worker count and run cache — unless overridden per call, and the
+    records come back **in task order**, so callers can zip them
+    against whatever labels they expanded the sweep from.  Raises
+    ``RuntimeError`` if any task failed (experiments must not silently
+    tabulate partial sweeps).
+    """
+    from ..harness import campaign as _campaign
+    from ..harness.spec import Task
+
+    task_objs = [
+        task if isinstance(task, Task) else Task.from_dict(task)
+        for task in tasks
+    ]
+    cfg = _EXECUTION
+    summary = _campaign.run_tasks(
+        task_objs,
+        jobs=cfg.jobs if jobs is None else max(1, int(jobs)),
+        cache_dir=cfg.cache_dir if cache_dir is _UNSET else cache_dir,
+        use_cache=cfg.use_cache if use_cache is None else bool(use_cache),
+        salt=salt,
+        name=name,
+    )
+    if summary.failures:
+        errors = [
+            record["error"]
+            for record in summary.records
+            if "error" in record
+        ]
+        raise RuntimeError(
+            f"{summary.failures} task(s) of campaign {name!r} failed: "
+            f"{errors[:3]}"
+        )
+    return summary.records
 
 
 def _ensure_loaded() -> None:

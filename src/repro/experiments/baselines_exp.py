@@ -1,14 +1,33 @@
-"""E11 — Section 3.1: Algorithm 1 vs the classic routing strawmen."""
+"""E11 — Section 3.1: Algorithm 1 vs the classic routing strawmen.
+
+The sweeps run through the campaign harness: each (graph, algorithm)
+cell is an independent task, so the slow strawmen (sequential BFS is
+quadratic in rounds *and* wall-clock) parallelize across workers and
+memoize in the run cache.
+"""
 
 from __future__ import annotations
 
-from ..core.apsp import run_apsp
-from ..core.baselines import run_baseline_apsp
-from ..graphs import erdos_renyi_graph, path_graph
-from .base import ExperimentResult, experiment, fit_loglog_slope
+from ..harness.spec import Task
+from .base import (
+    ExperimentResult,
+    experiment,
+    fit_loglog_slope,
+    run_campaign,
+)
 
 PATH_SWEEPS = {"quick": [16, 40], "paper": [16, 32, 48, 64]}
 DENSE_SWEEPS = {"quick": [20, 40], "paper": [20, 30, 40, 50]}
+
+_PARAMS = {"seed": 0, "policy": "strict"}
+
+
+def _apsp(spec: str) -> Task:
+    return Task.make(spec, "apsp", _PARAMS)
+
+
+def _baseline(spec: str, variant: str) -> Task:
+    return Task.make(spec, "baseline", {**_PARAMS, "variant": variant})
 
 
 @experiment("e11a")
@@ -20,16 +39,23 @@ def e11a_paths(scale: str) -> ExperimentResult:
         headers=["n", "Algorithm 1", "periodic DV", "delta DV",
                  "sequential BFS"],
     )
+    sweep = PATH_SWEEPS[scale]
+    tasks = []
+    for n in sweep:
+        spec = f"path:{n}"
+        tasks.extend([
+            _apsp(spec),
+            _baseline(spec, "distance-vector"),
+            _baseline(spec, "distance-vector-delta"),
+            _baseline(spec, "sequential-bfs"),
+        ])
+    records = run_campaign(tasks, name="e11a")
     series = {"algorithm1": [], "distance-vector": [],
               "sequential-bfs": []}
-    for n in PATH_SWEEPS[scale]:
-        graph = path_graph(n)
-        ours = run_apsp(graph).rounds
-        naive_dv = run_baseline_apsp(graph, "distance-vector").rounds
-        delta_dv = run_baseline_apsp(
-            graph, "distance-vector-delta"
-        ).rounds
-        seq = run_baseline_apsp(graph, "sequential-bfs").rounds
+    for n, chunk in zip(sweep, _grouped(records, 4)):
+        ours, naive_dv, delta_dv, seq = (
+            record["metrics"]["rounds"] for record in chunk
+        )
         series["algorithm1"].append((n, ours))
         series["distance-vector"].append((n, naive_dv))
         series["sequential-bfs"].append((n, seq))
@@ -61,16 +87,22 @@ def e11b_dense(scale: str) -> ExperimentResult:
         title="APSP rounds on dense graphs, m = Θ(n²) (§3.1)",
         headers=["n", "m", "Algorithm 1", "link-state", "ratio"],
     )
+    sweep = DENSE_SWEEPS[scale]
+    tasks = []
+    for n in sweep:
+        spec = f"er:{n}:p=0.5:seed=3"
+        tasks.extend([_apsp(spec), _baseline(spec, "link-state")])
+    records = run_campaign(tasks, name="e11b")
     ls_points = []
     ours_points = []
-    for n in DENSE_SWEEPS[scale]:
-        graph = erdos_renyi_graph(n, 0.5, seed=3, ensure_connected=True)
-        ours = run_apsp(graph).rounds
-        link_state = run_baseline_apsp(graph, "link-state").rounds
+    for n, (ours_rec, ls_rec) in zip(sweep, _grouped(records, 2)):
+        ours = ours_rec["metrics"]["rounds"]
+        link_state = ls_rec["metrics"]["rounds"]
         ls_points.append((n, link_state))
         ours_points.append((n, ours))
         result.rows.append((
-            n, graph.m, ours, link_state, f"{link_state / ours:.1f}x",
+            n, ours_rec["graph"]["m"], ours, link_state,
+            f"{link_state / ours:.1f}x",
         ))
     ls_slope = fit_loglog_slope([p[0] for p in ls_points],
                                 [p[1] for p in ls_points])
@@ -84,3 +116,11 @@ def e11b_dense(scale: str) -> ExperimentResult:
         "links is quadratic"
     )
     return result
+
+
+def _grouped(records, size):
+    """Consecutive fixed-size chunks of the (task-ordered) records."""
+    return (
+        records[start:start + size]
+        for start in range(0, len(records), size)
+    )

@@ -1,0 +1,107 @@
+"""Content-addressed on-disk run cache.
+
+Layout (two-level fan-out keeps directories small at scale)::
+
+    <root>/
+      ab/
+        ab12…ef.json      one completed run record, canonical JSON
+      cd/
+        cd34…01.json
+
+The file name *is* the content address (:func:`repro.harness.hashing.
+task_key` of the task payload + code-version salt), so invalidation is
+implicit: any change to the task, the harness record schema, or the
+:data:`~repro.harness.hashing.CODE_VERSION` salt produces a different
+key and simply misses.  Entries are immutable once written.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory),
+so concurrent workers — or concurrent campaigns sharing one cache —
+can never expose a torn entry; at worst two workers compute the same
+record and the second replace is a no-op rewrite of identical bytes.
+Corrupt or unreadable entries behave as misses and are quietly removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from .hashing import canonical_json
+
+
+class RunCache:
+    """Content-addressed store of completed run records."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Where the record for ``key`` lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached record for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            record = json.loads(text)
+        except ValueError:
+            # A torn or corrupt entry: drop it so it gets recomputed.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return record if isinstance(record, dict) else None
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Store ``record`` under ``key`` atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = canonical_json(record) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def keys(self) -> Iterator[str]:
+        """All stored content addresses."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

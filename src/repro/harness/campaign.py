@@ -1,0 +1,245 @@
+"""Campaign orchestration: expand → cache-check → shard → record.
+
+The driver turns a sweep spec into tasks, serves whatever it can from
+the content-addressed :class:`~repro.harness.cache.RunCache`, shards
+the remaining tasks across worker processes, and emits records **in
+task order** — the output is deterministic regardless of worker count
+or completion interleaving.  Per-task seeding is deterministic too:
+the simulator seed is part of the task itself, never derived from
+worker identity or scheduling.
+
+Every record carries the task's content ``key`` plus a ``timing`` block
+(``elapsed_s``, ``cache_hit``) which is the *only* non-deterministic
+part; :func:`repro.harness.store.strip_timing` removes it for
+comparisons.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .cache import RunCache
+from .progress import ProgressReporter
+from .runner import execute_task
+from .spec import CampaignSpec, Task
+from .store import ResultStore
+
+
+@dataclass
+class CampaignSummary:
+    """Outcome of one campaign invocation."""
+
+    name: str
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    cache_hits: int = 0
+    executed: int = 0
+    failures: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def total(self) -> int:
+        """How many tasks the campaign covered."""
+        return len(self.records)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of tasks served from the run cache."""
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def describe(self) -> str:
+        """One-line human summary (the CLI's closing line)."""
+        parts = [
+            f"campaign '{self.name}': {self.total} tasks",
+            f"{self.cache_hits} from cache ({self.hit_rate:.0%})",
+            f"{self.executed} executed",
+        ]
+        if self.failures:
+            parts.append(f"{self.failures} FAILED")
+        parts.append(f"{self.elapsed_s:.2f}s")
+        return " · ".join(parts)
+
+
+def _finalize(
+    record: Dict[str, Any],
+    key: str,
+    *,
+    elapsed_s: float,
+    cache_hit: bool,
+) -> Dict[str, Any]:
+    """Attach the content key and the (non-deterministic) timing block."""
+    out = dict(record)
+    out["key"] = key
+    out["timing"] = {
+        "elapsed_s": round(elapsed_s, 6),
+        "cache_hit": cache_hit,
+    }
+    return out
+
+
+def _execute_indexed(
+    job: Tuple[int, Task],
+) -> Tuple[int, Optional[Dict[str, Any]], Optional[Dict[str, str]], float]:
+    """Worker entry point: run one task, never raise.
+
+    Returns ``(index, record, error, elapsed_s)`` with exactly one of
+    ``record``/``error`` set, so a bad task fails its own record instead
+    of poisoning the pool.
+    """
+    index, task = job
+    started = time.perf_counter()
+    try:
+        record = execute_task(task)
+    except Exception as exc:  # noqa: BLE001 — reported per-task
+        error = {"type": type(exc).__name__, "message": str(exc)}
+        return index, None, error, time.perf_counter() - started
+    return index, record, None, time.perf_counter() - started
+
+
+def _init_worker(path_entries: List[str]) -> None:
+    """Mirror the parent's ``sys.path`` (matters under spawn start)."""
+    for entry in path_entries:
+        if entry not in sys.path:
+            sys.path.append(entry)
+
+
+def _pool_context():
+    """Prefer fork (fast, inherits imports); fall back to the default."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    *,
+    jobs: int = 1,
+    cache: Optional[RunCache] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    salt: str = "",
+    name: str = "campaign",
+    progress: Optional[ProgressReporter] = None,
+    store: Optional[ResultStore] = None,
+) -> CampaignSummary:
+    """Execute ``tasks``, reusing cached runs; records come back in order.
+
+    ``cache`` (or ``cache_dir``) enables the content-addressed run
+    cache; ``use_cache=False`` forces recomputation while still
+    *writing* fresh entries, so a once-suspect cache heals itself.
+    ``store`` receives every record (in task order) when given.
+    """
+    started = time.perf_counter()
+    if cache is None and cache_dir is not None:
+        cache = RunCache(cache_dir)
+    summary = CampaignSummary(name=name)
+    keys = [task.key(salt=salt) for task in tasks]
+    slots: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+    pending: List[int] = []
+
+    for index, (task, key) in enumerate(zip(tasks, keys)):
+        cached = cache.get(key) if (cache and use_cache) else None
+        if cached is not None and cached.get("task") == task.payload():
+            slots[index] = _finalize(
+                cached, key, elapsed_s=0.0, cache_hit=True
+            )
+            summary.cache_hits += 1
+            if progress:
+                progress.task_done(cache_hit=True)
+        else:
+            pending.append(index)
+
+    def settle(index: int, record, error, elapsed: float) -> None:
+        key = keys[index]
+        if error is not None:
+            slots[index] = _finalize(
+                {"task": tasks[index].payload(), "error": error},
+                key, elapsed_s=elapsed, cache_hit=False,
+            )
+            summary.failures += 1
+        else:
+            if cache is not None:
+                cache.put(key, record)
+            slots[index] = _finalize(
+                record, key, elapsed_s=elapsed, cache_hit=False
+            )
+        summary.executed += 1
+        if progress:
+            progress.task_done(cache_hit=False, failed=error is not None)
+
+    workers = min(max(1, jobs), max(1, len(pending)))
+    if workers <= 1 or len(pending) <= 1:
+        for index in pending:
+            settle(*_execute_indexed((index, tasks[index])))
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(list(sys.path),),
+        ) as pool:
+            futures = {
+                pool.submit(_execute_indexed, (index, tasks[index]))
+                for index in pending
+            }
+            while futures:
+                finished, futures = wait(
+                    futures, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    settle(*future.result())
+
+    summary.records = [slot for slot in slots if slot is not None]
+    summary.elapsed_s = time.perf_counter() - started
+    if progress:
+        progress.close()
+    if store is not None:
+        store.extend(summary.records)
+    return summary
+
+
+def run_campaign(
+    spec: "CampaignSpec | Dict[str, Any]",
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    store_path=None,
+    append: bool = False,
+    show_progress: bool = False,
+    progress_stream=None,
+) -> CampaignSummary:
+    """Expand a sweep spec and run it end to end.
+
+    When ``store_path`` is given the records land there as JSONL;
+    unless ``append`` is set the store is truncated first so repeated
+    invocations stay byte-comparable.
+    """
+    if not isinstance(spec, CampaignSpec):
+        spec = CampaignSpec.from_dict(spec)
+    tasks = spec.expand()
+    store = None
+    if store_path is not None:
+        store = ResultStore(store_path)
+        if not append:
+            store.truncate()
+    progress = None
+    if show_progress:
+        progress = ProgressReporter(
+            len(tasks), label=spec.name, stream=progress_stream
+        )
+    return run_tasks(
+        tasks,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        salt=spec.salt,
+        name=spec.name,
+        progress=progress,
+        store=store,
+    )

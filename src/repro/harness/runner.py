@@ -1,0 +1,202 @@
+"""Per-task execution: algorithm name → :mod:`repro.core` entry point.
+
+:func:`execute_task` is the function worker processes run.  It parses
+the task's graph spec, dispatches to the named algorithm, and returns a
+*deterministic* record — JSON-pure, independent of wall-clock, worker
+identity, process memory layout, and cache state — so that a cache hit
+and a fresh computation yield byte-identical stored records.
+
+Record shape::
+
+    {
+      "task":    {"graph": ..., "algorithm": ..., "params": {...}},
+      "graph":   {"n": ..., "m": ...},
+      "result":  {... small algorithm-specific summary ...},
+      "metrics": RunMetrics.to_dict()
+    }
+
+Campaign-level fields (content key, timing, cache provenance) are added
+by :mod:`.campaign`, outside the deterministic core.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+from .. import core
+from ..congest.metrics import RunMetrics
+from ..graphs.graph import Graph
+from ..graphs.specs import parse_graph
+from .spec import Task
+
+#: Signature of a per-algorithm adapter.
+Adapter = Callable[[Graph, Dict[str, Any]], Tuple[Dict[str, Any], RunMetrics]]
+
+
+class TaskError(RuntimeError):
+    """A task could not be executed (bad algorithm/params)."""
+
+
+def _common(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Pop the kwargs every simulator entry point understands."""
+    return {
+        "seed": int(params.pop("seed", 0)),
+        "policy": str(params.pop("policy", "strict")),
+        "bandwidth_bits": params.pop("bandwidth_bits", None),
+    }
+
+
+def _reject_leftovers(algorithm: str, params: Mapping[str, Any]) -> None:
+    if params:
+        raise TaskError(
+            f"algorithm {algorithm!r} got unknown params "
+            f"{sorted(params)}"
+        )
+
+
+def _run_apsp(graph: Graph, params: Dict[str, Any]):
+    kwargs = _common(params)
+    collect_girth = bool(params.pop("collect_girth", False))
+    _reject_leftovers("apsp", params)
+    summary = core.run_apsp(graph, collect_girth=collect_girth, **kwargs)
+    return {
+        "diameter": summary.diameter(),
+        "radius": summary.radius(),
+    }, summary.metrics
+
+
+def _run_ssp(graph: Graph, params: Dict[str, Any]):
+    kwargs = _common(params)
+    sources = params.pop("sources", None)
+    num_sources = params.pop("num_sources", None)
+    if sources is None:
+        if num_sources is None:
+            raise TaskError("ssp needs 'sources' or 'num_sources'")
+        sources = sorted(graph.nodes)[: int(num_sources)]
+    _reject_leftovers("ssp", params)
+    summary = core.run_ssp(graph, [int(s) for s in sources], **kwargs)
+    max_distance = max(
+        (max(res.distances.values(), default=0)
+         for res in summary.results.values()),
+        default=0,
+    )
+    return {
+        "sources": sorted(summary.sources),
+        "max_distance": max_distance,
+    }, summary.metrics
+
+
+def _run_properties(graph: Graph, params: Dict[str, Any]):
+    kwargs = _common(params)
+    include_girth = bool(params.pop("include_girth", True))
+    _reject_leftovers("properties", params)
+    summary = core.run_graph_properties(
+        graph, include_girth=include_girth, **kwargs
+    )
+    result = {
+        "diameter": summary.diameter,
+        "radius": summary.radius,
+        "center": sorted(summary.center()),
+        "peripheral": sorted(summary.peripheral()),
+    }
+    if include_girth:
+        result["girth"] = summary.girth
+    return result, summary.metrics
+
+
+def _run_approx(graph: Graph, params: Dict[str, Any]):
+    kwargs = _common(params)
+    epsilon = float(params.pop("epsilon", 0.5))
+    _reject_leftovers("approx", params)
+    summary = core.run_approx_properties(graph, epsilon, **kwargs)
+    return {
+        "epsilon": epsilon,
+        "diameter_estimate": summary.diameter_estimate,
+        "radius_estimate": summary.radius_estimate,
+    }, summary.metrics
+
+
+def _run_girth(graph: Graph, params: Dict[str, Any]):
+    kwargs = _common(params)
+    _reject_leftovers("girth", params)
+    summary = core.run_exact_girth(graph, **kwargs)
+    return {"girth": summary.girth}, summary.metrics
+
+
+def _run_girth_approx(graph: Graph, params: Dict[str, Any]):
+    kwargs = _common(params)
+    epsilon = float(params.pop("epsilon", 0.5))
+    _reject_leftovers("girth-approx", params)
+    summary = core.run_approx_girth(graph, epsilon, **kwargs)
+    return {"epsilon": epsilon, "girth": summary.girth}, summary.metrics
+
+
+def _run_two_vs_four(graph: Graph, params: Dict[str, Any]):
+    kwargs = _common(params)
+    _reject_leftovers("two-vs-four", params)
+    summary = core.run_two_vs_four(graph, **kwargs)
+    return {
+        "diameter": summary.diameter,
+        "branch": summary.branch,
+    }, summary.metrics
+
+
+def _run_baseline(graph: Graph, params: Dict[str, Any]):
+    kwargs = _common(params)
+    variant = params.pop("variant", None)
+    if variant is None:
+        raise TaskError(
+            "baseline needs a 'variant' param (e.g. 'distance-vector')"
+        )
+    _reject_leftovers("baseline", params)
+    summary = core.run_baseline_apsp(graph, str(variant), **kwargs)
+    return {
+        "variant": variant,
+        "diameter": summary.diameter(),
+        "radius": summary.radius(),
+    }, summary.metrics
+
+
+def _run_leader(graph: Graph, params: Dict[str, Any]):
+    kwargs = _common(params)
+    _reject_leftovers("leader", params)
+    results, metrics = core.run_leader_election(graph, **kwargs)
+    leader = next(iter(results.values())).leader
+    return {"leader": leader}, metrics
+
+
+_ALGORITHMS: Dict[str, Adapter] = {
+    "apsp": _run_apsp,
+    "ssp": _run_ssp,
+    "properties": _run_properties,
+    "approx": _run_approx,
+    "girth": _run_girth,
+    "girth-approx": _run_girth_approx,
+    "two-vs-four": _run_two_vs_four,
+    "baseline": _run_baseline,
+    "leader": _run_leader,
+}
+
+
+def available_algorithms() -> List[str]:
+    """Algorithm names :func:`execute_task` accepts, sorted."""
+    return sorted(_ALGORITHMS)
+
+
+def execute_task(task: Task) -> Dict[str, Any]:
+    """Run one task and return its deterministic record (see module doc)."""
+    try:
+        adapter = _ALGORITHMS[task.algorithm]
+    except KeyError:
+        raise TaskError(
+            f"unknown algorithm {task.algorithm!r}; "
+            f"available: {available_algorithms()}"
+        )
+    graph = parse_graph(task.graph)
+    result, metrics = adapter(graph, task.param_dict())
+    return {
+        "task": task.payload(),
+        "graph": {"n": graph.n, "m": graph.m},
+        "result": result,
+        "metrics": metrics.to_dict(),
+    }

@@ -1,0 +1,221 @@
+"""Declarative sweep specs and their expansion into run tasks.
+
+A campaign is a cartesian sweep::
+
+    graph family × size × seed × algorithm × bandwidth policy
+
+declared as a plain dict (or JSON file) and expanded into an ordered
+list of independent :class:`Task` descriptors.  Tasks are pure data —
+a graph spec string, an algorithm name, a params dict — so they can be
+hashed for the run cache, pickled to worker processes, and replayed
+bit-for-bit later.
+
+Spec format (all axes optional except ``graphs``)::
+
+    {
+      "name": "apsp-sweep",            // campaign label
+      "graphs": ["path:{n}", "torus:6x6"],
+      "sizes": [30, 60, 90],           // fills the {n} placeholder
+      "seeds": [0, 1, 2],              // per-task simulator seed
+      "algorithms": ["apsp", "properties"],
+      "policies": ["strict"],          // bandwidth policy axis
+      "params": {"epsilon": 0.5},      // extra args for every task
+      "salt": ""                       // extra cache-key salt
+    }
+
+Graph entries without a ``{n}`` placeholder name a fixed topology and
+appear once, not once per size.  Expansion order is deterministic:
+algorithms × graphs × sizes × seeds × policies, in the order written.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..graphs import specs as graph_specs
+from .hashing import task_key
+
+
+class SpecError(ValueError):
+    """A campaign spec is malformed."""
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert a params value into a hashable constant."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze` back into JSON-pure types."""
+    if isinstance(value, tuple):
+        if value and all(
+            isinstance(item, tuple) and len(item) == 2
+            and isinstance(item[0], str)
+            for item in value
+        ):
+            return {k: _thaw(v) for k, v in value}
+        return [_thaw(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent unit of work: run ``algorithm`` on ``graph``.
+
+    ``params`` is stored frozen (sorted key/value tuples) so tasks are
+    hashable and safely deduplicated; use :meth:`param_dict` to read it.
+    """
+
+    graph: str
+    algorithm: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        graph: str,
+        algorithm: str,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> "Task":
+        """Build a task from a plain params mapping."""
+        frozen = tuple(
+            sorted((k, _freeze(v)) for k, v in (params or {}).items())
+        )
+        return cls(graph=graph, algorithm=algorithm, params=frozen)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Task":
+        """Build a task from its :meth:`payload` form."""
+        try:
+            return cls.make(
+                data["graph"], data["algorithm"], data.get("params")
+            )
+        except KeyError as exc:
+            raise SpecError(f"task dict missing field {exc}")
+
+    def param_dict(self) -> Dict[str, Any]:
+        """The params as a plain (JSON-pure) dict."""
+        return {k: _thaw(v) for k, v in self.params}
+
+    def payload(self) -> Dict[str, Any]:
+        """Deterministic JSON-pure description (the cache-key input)."""
+        return {
+            "graph": self.graph,
+            "algorithm": self.algorithm,
+            "params": self.param_dict(),
+        }
+
+    def key(self, *, salt: str = "") -> str:
+        """Content address of this task (see :mod:`.hashing`)."""
+        return task_key(self.payload(), salt=salt)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep over the task axes (see module docstring)."""
+
+    name: str = "campaign"
+    graphs: Sequence[str] = ()
+    sizes: Sequence[int] = ()
+    seeds: Sequence[int] = (0,)
+    algorithms: Sequence[str] = ("apsp",)
+    policies: Sequence[str] = ("strict",)
+    params: Mapping[str, Any] = field(default_factory=dict)
+    salt: str = ""
+
+    _FIELDS = (
+        "name", "graphs", "sizes", "seeds", "algorithms", "policies",
+        "params", "salt",
+    )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Validate and build a spec from a plain dict."""
+        unknown = set(data) - set(cls._FIELDS)
+        if unknown:
+            raise SpecError(
+                f"unknown spec fields {sorted(unknown)}; "
+                f"expected a subset of {list(cls._FIELDS)}"
+            )
+        graphs = list(data.get("graphs", ()))
+        if not graphs:
+            raise SpecError("spec needs a non-empty 'graphs' list")
+        sizes = [int(n) for n in data.get("sizes", ())]
+        needs_sizes = any(
+            graph_specs.has_size_placeholder(g) for g in graphs
+        )
+        if needs_sizes and not sizes:
+            raise SpecError(
+                "spec uses a {n} placeholder but provides no 'sizes'"
+            )
+        seeds = [int(s) for s in data.get("seeds", (0,))]
+        if not seeds:
+            raise SpecError("'seeds' must not be empty")
+        params = dict(data.get("params", {}))
+        for reserved in ("seed", "policy"):
+            if reserved in params:
+                raise SpecError(
+                    f"'{reserved}' is a sweep axis, not a shared param"
+                )
+        return cls(
+            name=str(data.get("name", "campaign")),
+            graphs=graphs,
+            sizes=sizes,
+            seeds=seeds,
+            algorithms=list(data.get("algorithms", ("apsp",))),
+            policies=list(data.get("policies", ("strict",))),
+            params=params,
+            salt=str(data.get("salt", "")),
+        )
+
+    def expand(self) -> List[Task]:
+        """Expand the sweep into its ordered, deduplicated task list."""
+        tasks: List[Task] = []
+        seen = set()
+        for algorithm in self.algorithms:
+            for template in self.graphs:
+                if graph_specs.has_size_placeholder(template):
+                    concrete = [
+                        graph_specs.substitute_size(template, n)
+                        for n in self.sizes
+                    ]
+                else:
+                    concrete = [template]
+                for graph in concrete:
+                    for seed in self.seeds:
+                        for policy in self.policies:
+                            task = Task.make(graph, algorithm, {
+                                **self.params,
+                                "seed": seed,
+                                "policy": policy,
+                            })
+                            if task not in seen:
+                                seen.add(task)
+                                tasks.append(task)
+        return tasks
+
+
+def expand_spec(spec: "CampaignSpec | Mapping[str, Any]") -> List[Task]:
+    """Expand a spec (object or dict) into its task list."""
+    if not isinstance(spec, CampaignSpec):
+        spec = CampaignSpec.from_dict(spec)
+    return spec.expand()
+
+
+def load_spec(path) -> CampaignSpec:
+    """Load a campaign spec from a JSON file."""
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"{path}: not valid JSON ({exc})")
+    if not isinstance(data, dict):
+        raise SpecError(f"{path}: spec must be a JSON object")
+    return CampaignSpec.from_dict(data)

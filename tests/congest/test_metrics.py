@@ -43,3 +43,43 @@ def test_empty_round_recorded():
     metrics.record_round([])
     assert metrics.rounds == 1
     assert metrics.messages_per_round == [0]
+
+
+def test_to_dict_round_trip():
+    metrics = RunMetrics()
+    metrics.record_round([((1, 2), 2, 30), ((2, 1), 1, 10)])
+    metrics.record_round([((1, 2), 1, 50)])
+    data = metrics.to_dict()
+    assert data["rounds"] == 2
+    assert data["bits_total"] == 90
+    assert "edge_bits" not in data  # tracking was off
+    rebuilt = RunMetrics.from_dict(data)
+    assert rebuilt == metrics
+    assert rebuilt.to_dict() == data
+
+
+def test_to_dict_round_trip_with_edge_bits():
+    metrics = RunMetrics(edge_bits={})
+    metrics.record_round([((3, 4), 1, 5), ((1, 2), 1, 7)])
+    metrics.record_round([((1, 2), 1, 3)])
+    data = metrics.to_dict()
+    assert data["edge_bits"] == [[1, 2, 10], [3, 4, 5]]  # sorted
+    rebuilt = RunMetrics.from_dict(data)
+    assert rebuilt.edge_bits == {(1, 2): 10, (3, 4): 5}
+    assert rebuilt == metrics
+
+
+def test_to_dict_is_json_pure():
+    import json
+
+    metrics = RunMetrics(edge_bits={})
+    metrics.record_round([((1, 2), 1, 7)])
+    round_tripped = json.loads(json.dumps(metrics.to_dict()))
+    assert RunMetrics.from_dict(round_tripped) == metrics
+
+
+def test_from_dict_tolerates_missing_fields():
+    metrics = RunMetrics.from_dict({"rounds": 3})
+    assert metrics.rounds == 3
+    assert metrics.messages_total == 0
+    assert metrics.edge_bits is None

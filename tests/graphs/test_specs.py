@@ -1,0 +1,62 @@
+"""Compact graph-spec strings (shared by the CLI and the harness)."""
+
+import pytest
+
+from repro import graphs
+from repro.graphs.specs import (
+    GraphSpecError,
+    has_size_placeholder,
+    parse_graph,
+    substitute_size,
+)
+
+
+@pytest.mark.parametrize("spec,expected", [
+    ("path:6", graphs.path_graph(6)),
+    ("cycle:7", graphs.cycle_graph(7)),
+    ("star:5", graphs.star_graph(5)),
+    ("complete:5", graphs.complete_graph(5)),
+    ("grid:3x4", graphs.grid_graph(3, 4)),
+    ("torus:3x4", graphs.torus_graph(3, 4)),
+    ("tree:9:seed=4", graphs.random_tree(9, seed=4)),
+    ("dumbbell:4:3", graphs.dumbbell_with_path(4, 3)),
+    ("diameter2:20:seed=1", graphs.diameter_two_random(20, seed=1)),
+    ("diameter4:20:seed=1", graphs.diameter_four_blobs(20, seed=1)),
+])
+def test_families_round_trip(spec, expected):
+    assert parse_graph(spec) == expected
+
+
+def test_er_spec_is_connected_and_seeded():
+    graph = parse_graph("er:30:p=0.1:seed=5")
+    assert graph.is_connected()
+    assert graph == graphs.erdos_renyi_graph(
+        30, 0.1, seed=5, ensure_connected=True
+    )
+
+
+def test_file_spec(tmp_path):
+    from repro.graphs import io as graph_io
+
+    target = tmp_path / "g.edges"
+    graph_io.save(graphs.path_graph(5), target)
+    assert parse_graph(f"file:{target}") == graphs.path_graph(5)
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(GraphSpecError):
+        parse_graph("hypercube:8")
+
+
+def test_malformed_arguments_rejected():
+    with pytest.raises(GraphSpecError):
+        parse_graph("path:banana")
+    with pytest.raises(GraphSpecError):
+        parse_graph("path")
+
+
+def test_size_placeholder_helpers():
+    assert has_size_placeholder("path:{n}")
+    assert not has_size_placeholder("torus:4x4")
+    assert substitute_size("er:{n}:p=0.1", 30) == "er:30:p=0.1"
+    assert substitute_size("torus:4x4", 30) == "torus:4x4"

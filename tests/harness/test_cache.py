@@ -1,0 +1,65 @@
+"""Content-addressed run cache behaviour."""
+
+from repro.harness import RunCache
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+def test_round_trip(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    record = {"task": {"graph": "path:4"}, "metrics": {"rounds": 7}}
+    assert KEY not in cache
+    assert cache.get(KEY) is None
+    cache.put(KEY, record)
+    assert KEY in cache
+    assert cache.get(KEY) == record
+
+
+def test_two_level_layout(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.put(KEY, {"x": 1})
+    assert (tmp_path / "ab" / f"{KEY}.json").is_file()
+
+
+def test_corrupt_entry_is_a_miss_and_removed(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.put(KEY, {"x": 1})
+    cache.path_for(KEY).write_text("{truncated", encoding="utf-8")
+    assert cache.get(KEY) is None
+    assert KEY not in cache  # dropped for recomputation
+
+
+def test_non_dict_entry_is_a_miss(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.path_for(KEY).parent.mkdir(parents=True)
+    cache.path_for(KEY).write_text("[1, 2]", encoding="utf-8")
+    assert cache.get(KEY) is None
+
+
+def test_keys_len_and_clear(tmp_path):
+    cache = RunCache(tmp_path)
+    assert len(cache) == 0
+    cache.put(KEY, {"x": 1})
+    cache.put(OTHER, {"y": 2})
+    assert sorted(cache.keys()) == sorted([KEY, OTHER])
+    assert len(cache) == 2
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+def test_put_is_idempotent(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.put(KEY, {"x": 1})
+    cache.put(KEY, {"x": 1})
+    assert cache.get(KEY) == {"x": 1}
+    assert len(cache) == 1
+
+
+def test_no_stray_temp_files_after_put(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.put(KEY, {"x": 1})
+    leftovers = [
+        p for p in (tmp_path / "ab").iterdir() if p.suffix == ".tmp"
+    ]
+    assert leftovers == []

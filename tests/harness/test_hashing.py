@@ -1,0 +1,43 @@
+"""Cache-key stability: canonical hashing of task payloads."""
+
+from repro.harness import Task, canonical_json, task_key
+from repro.harness.hashing import content_hash
+
+
+def test_canonical_json_is_order_insensitive():
+    assert canonical_json({"b": 1, "a": [1, 2]}) == \
+        canonical_json({"a": [1, 2], "b": 1})
+
+
+def test_canonical_json_is_tight():
+    assert canonical_json({"a": 1}) == '{"a":1}'
+
+
+def test_content_hash_stable_across_dict_construction():
+    one = {"graph": "path:10", "params": {"seed": 0, "policy": "strict"}}
+    other = {"params": {"policy": "strict", "seed": 0}, "graph": "path:10"}
+    assert content_hash(one) == content_hash(other)
+
+
+def test_task_key_differs_by_every_axis():
+    base = Task.make("path:10", "apsp", {"seed": 0})
+    keys = {
+        base.key(),
+        Task.make("path:11", "apsp", {"seed": 0}).key(),
+        Task.make("path:10", "properties", {"seed": 0}).key(),
+        Task.make("path:10", "apsp", {"seed": 1}).key(),
+        base.key(salt="other"),
+    }
+    assert len(keys) == 5
+
+
+def test_task_key_is_hex_sha256():
+    key = Task.make("path:10", "apsp", {"seed": 0}).key()
+    assert len(key) == 64
+    int(key, 16)  # parses as hex
+
+
+def test_task_key_reproducible_across_calls():
+    task = Task.make("torus:4x4", "apsp", {"seed": 2, "policy": "strict"})
+    assert task.key() == task.key()
+    assert task.key() == task_key(task.payload())

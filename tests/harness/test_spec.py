@@ -1,0 +1,129 @@
+"""Sweep-spec parsing and expansion."""
+
+import json
+
+import pytest
+
+from repro.harness import CampaignSpec, SpecError, Task, expand_spec, load_spec
+
+
+class TestTask:
+    def test_payload_round_trip(self):
+        task = Task.make("path:10", "apsp", {"seed": 3, "policy": "strict"})
+        payload = task.payload()
+        assert payload == {
+            "graph": "path:10",
+            "algorithm": "apsp",
+            "params": {"seed": 3, "policy": "strict"},
+        }
+        assert Task.from_dict(payload) == task
+
+    def test_tasks_are_hashable_and_order_insensitive(self):
+        a = Task.make("path:10", "apsp", {"seed": 0, "policy": "strict"})
+        b = Task.make("path:10", "apsp", {"policy": "strict", "seed": 0})
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_nested_params_freeze_and_thaw(self):
+        task = Task.make("path:10", "ssp",
+                         {"sources": [1, 2], "opts": {"x": 1}})
+        params = task.param_dict()
+        assert params["sources"] == [1, 2]
+        assert params["opts"] == {"x": 1}
+        assert hash(task)  # frozen representation stays hashable
+
+    def test_from_dict_requires_fields(self):
+        with pytest.raises(SpecError):
+            Task.from_dict({"graph": "path:10"})
+
+
+class TestCampaignSpec:
+    def test_expansion_order_and_count(self):
+        spec = CampaignSpec.from_dict({
+            "graphs": ["path:{n}"],
+            "sizes": [10, 20],
+            "seeds": [0, 1],
+            "algorithms": ["apsp", "properties"],
+        })
+        tasks = spec.expand()
+        assert len(tasks) == 8
+        # algorithms × graphs(sizes) × seeds, in declared order
+        assert tasks[0].payload() == {
+            "graph": "path:10", "algorithm": "apsp",
+            "params": {"policy": "strict", "seed": 0},
+        }
+        assert [t.algorithm for t in tasks[:4]] == ["apsp"] * 4
+        assert [t.graph for t in tasks[:4]] == [
+            "path:10", "path:10", "path:20", "path:20",
+        ]
+
+    def test_fixed_graphs_not_duplicated_per_size(self):
+        tasks = expand_spec({
+            "graphs": ["torus:4x4"],
+            "sizes": [10, 20, 30],
+        })
+        assert len(tasks) == 1
+
+    def test_policy_axis(self):
+        tasks = expand_spec({
+            "graphs": ["path:8"],
+            "policies": ["strict", "unlimited"],
+        })
+        assert [t.param_dict()["policy"] for t in tasks] == [
+            "strict", "unlimited",
+        ]
+
+    def test_shared_params_reach_every_task(self):
+        tasks = expand_spec({
+            "graphs": ["cycle:9"],
+            "algorithms": ["approx"],
+            "params": {"epsilon": 0.25},
+        })
+        assert tasks[0].param_dict()["epsilon"] == 0.25
+
+    def test_placeholder_without_sizes_rejected(self):
+        with pytest.raises(SpecError):
+            CampaignSpec.from_dict({"graphs": ["path:{n}"]})
+
+    def test_empty_graphs_rejected(self):
+        with pytest.raises(SpecError):
+            CampaignSpec.from_dict({"graphs": []})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError):
+            CampaignSpec.from_dict({"graphs": ["path:8"], "sizs": [1]})
+
+    def test_reserved_param_rejected(self):
+        with pytest.raises(SpecError):
+            CampaignSpec.from_dict({
+                "graphs": ["path:8"], "params": {"seed": 1},
+            })
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(SpecError):
+            CampaignSpec.from_dict({"graphs": ["path:8"], "seeds": []})
+
+
+class TestLoadSpec:
+    def test_load_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "sweep",
+            "graphs": ["path:{n}"],
+            "sizes": [10],
+        }), encoding="utf-8")
+        spec = load_spec(path)
+        assert spec.name == "sweep"
+        assert len(spec.expand()) == 1
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SpecError):
+            load_spec(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(SpecError):
+            load_spec(path)

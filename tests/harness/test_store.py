@@ -1,0 +1,92 @@
+"""JSONL result store: append, query, aggregate."""
+
+import pytest
+
+from repro.harness import ResultStore, strip_timing
+from repro.harness.store import lookup
+
+
+def _record(graph, algorithm, n, rounds):
+    return {
+        "task": {"graph": graph, "algorithm": algorithm,
+                 "params": {"seed": 0}},
+        "graph": {"n": n, "m": n - 1},
+        "metrics": {"rounds": rounds},
+        "timing": {"elapsed_s": 0.5, "cache_hit": False},
+    }
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ResultStore(tmp_path / "results.jsonl")
+    store.extend([
+        _record("path:10", "apsp", 10, 40),
+        _record("path:20", "apsp", 20, 80),
+        _record("path:10", "properties", 10, 55),
+    ])
+    return store
+
+
+def test_append_and_iterate_in_order(store):
+    graphs = [record["task"]["graph"] for record in store]
+    assert graphs == ["path:10", "path:20", "path:10"]
+    assert len(store) == 3
+
+
+def test_records_filter_by_dotted_field(store):
+    apsp = store.records(task__algorithm="apsp")
+    assert len(apsp) == 2
+    assert all(r["task"]["algorithm"] == "apsp" for r in apsp)
+
+
+def test_records_filter_with_predicate(store):
+    big = store.records(where=lambda r: r["metrics"]["rounds"] > 50)
+    assert len(big) == 2
+
+
+def test_values_projection(store):
+    assert store.values("metrics.rounds", task__algorithm="apsp") == \
+        [40, 80]
+
+
+def test_aggregate_mean_and_count(store):
+    by_n = store.aggregate("graph.n", "metrics.rounds",
+                           agg="mean", task__algorithm="apsp")
+    assert by_n == {10: 40.0, 20: 80.0}
+    counts = store.aggregate("task.graph", "metrics.rounds", agg="count")
+    assert counts == {"path:10": 2, "path:20": 1}
+
+
+def test_aggregate_unknown_reducer_rejected(store):
+    with pytest.raises(ValueError):
+        store.aggregate("graph.n", "metrics.rounds", agg="median")
+
+
+def test_lookup_missing_path_defaults():
+    assert lookup({"a": {"b": 1}}, "a.b") == 1
+    assert lookup({"a": {"b": 1}}, "a.c") is None
+    assert lookup({"a": {"b": 1}}, "a.b.c", default=7) == 7
+
+
+def test_strip_timing_removes_only_timing(store):
+    record = next(iter(store))
+    stripped = strip_timing(record)
+    assert "timing" not in stripped
+    assert stripped["task"] == record["task"]
+    assert stripped["metrics"] == record["metrics"]
+
+
+def test_truncate_resets(store):
+    store.truncate()
+    assert len(store) == 0
+
+
+def test_missing_file_iterates_empty(tmp_path):
+    assert list(ResultStore(tmp_path / "absent.jsonl")) == []
+
+
+def test_corrupt_line_raises_with_location(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"ok": 1}\n{broken\n', encoding="utf-8")
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        list(ResultStore(path))

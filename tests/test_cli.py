@@ -99,3 +99,90 @@ class TestCommands:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCampaignCommand:
+    def run(self, argv, capsys):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_flag_mode_runs_and_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        text = self.run([
+            "campaign", "--name", "cli-sweep",
+            "--graphs", "path:{n}", "--sizes", "8,10",
+            "--algorithms", "apsp,properties",
+            "--jobs", "2", "--quiet",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out),
+        ], capsys)
+        assert "campaign 'cli-sweep': 4 tasks" in text
+        assert out.exists()
+        assert len(out.read_text().splitlines()) == 4
+
+    def test_second_invocation_serves_from_cache(self, tmp_path, capsys):
+        argv = [
+            "campaign", "--graphs", "path:8", "--quiet",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path / "out.jsonl"),
+        ]
+        self.run(argv, capsys)
+        text = self.run(argv, capsys)
+        assert "1 from cache (100%)" in text
+
+    def test_spec_file_mode(self, tmp_path, capsys):
+        import json as _json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(_json.dumps({
+            "name": "from-file", "graphs": ["cycle:9"],
+        }), encoding="utf-8")
+        text = self.run([
+            "campaign", str(spec), "--quiet",
+            "--out", str(tmp_path / "out.jsonl"),
+        ], capsys)
+        assert "campaign 'from-file': 1 tasks" in text
+
+    def test_spec_file_and_flags_conflict(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text('{"graphs": ["path:8"]}', encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["campaign", str(spec), "--graphs", "path:8"])
+
+    def test_no_input_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign"])
+
+    def test_missing_spec_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", str(tmp_path / "absent.json")])
+
+    def test_failures_set_exit_status(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "campaign", "--graphs", "path:8",
+                "--algorithms", "no-such-algorithm", "--quiet",
+                "--out", str(tmp_path / "out.jsonl"),
+            ])
+
+
+class TestExperimentJobsFlag:
+    def test_experiment_with_jobs_and_cache(self, tmp_path, capsys):
+        assert main([
+            "experiment", "e16", "--scale", "quick",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "E16" in out and "checks: PASS" in out
+
+    def test_execution_config_restored_after_run(self, tmp_path, capsys):
+        from repro import experiments
+
+        before = experiments.execution_config()
+        assert main([
+            "experiment", "e16", "--scale", "quick",
+            "--jobs", "3", "--cache-dir", str(tmp_path / "cache"),
+            "--no-cache",
+        ]) == 0
+        capsys.readouterr()
+        assert experiments.execution_config() == before

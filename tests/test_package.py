@@ -1,11 +1,11 @@
 """Smoke tests for the package surface."""
 
 import repro
-from repro import congest, core, graphs
+from repro import congest, core, graphs, harness
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_quickstart_from_docstring():
@@ -16,11 +16,13 @@ def test_quickstart_from_docstring():
 
 
 def test_all_exports_resolve():
-    for module in (congest, core, graphs):
+    for module in (congest, core, graphs, harness):
         for name in module.__all__:
             assert hasattr(module, name), f"{module.__name__}.{name}"
 
 
 def test_layering_core_imports_nothing_private_from_tests():
-    # The public surface exposes the three documented layers.
-    assert repro.__all__ == ["congest", "core", "graphs", "__version__"]
+    # The public surface exposes the documented layers.
+    assert repro.__all__ == [
+        "congest", "core", "graphs", "harness", "__version__"
+    ]
