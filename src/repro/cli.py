@@ -30,6 +30,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -188,6 +189,9 @@ def cmd_experiment(args: argparse.Namespace) -> None:
                 jobs=previous.jobs,
                 cache_dir=previous.cache_dir,
                 use_cache=previous.use_cache,
+                timeout_s=previous.timeout_s,
+                retries=previous.retries,
+                max_failures=previous.max_failures,
             )
     if failures:
         raise SystemExit(f"experiments failed checks: {failures}")
@@ -200,8 +204,13 @@ def _csv(text: Optional[str], cast=str) -> List:
     return [cast(item.strip()) for item in text.split(",") if item.strip()]
 
 
-def cmd_campaign(args: argparse.Namespace) -> None:
-    """``repro campaign``: run a cached, parallel sweep (docs/harness.md)."""
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """``repro campaign``: run a cached, parallel sweep (docs/harness.md).
+
+    Returns the process exit code: 0 when every task produced a result,
+    1 when any task failed (the per-task errors are in the JSONL store,
+    so a partial campaign is still fully recorded).
+    """
     from . import harness
 
     if args.spec:
@@ -231,6 +240,13 @@ def cmd_campaign(args: argparse.Namespace) -> None:
         raise SystemExit(
             "campaign needs a JSON spec file or --graphs (see docs/harness.md)"
         )
+    if args.faults:
+        try:
+            spec = spec.with_faults(json.loads(args.faults))
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"--faults: not valid JSON ({exc})")
+        except harness.SpecError as exc:
+            raise SystemExit(str(exc))
     out = args.out or f"{spec.name}.jsonl"
     summary = harness.run_campaign(
         spec,
@@ -240,11 +256,21 @@ def cmd_campaign(args: argparse.Namespace) -> None:
         store_path=out,
         append=args.append,
         show_progress=not args.quiet,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        max_failures=args.max_failures,
+        fail_fast=args.fail_fast,
     )
     print(summary.describe())
     print(f"results -> {out}")
     if summary.failures:
-        raise SystemExit(f"{summary.failures} task(s) failed")
+        print(
+            f"error: {summary.failures} task(s) failed; "
+            f"per-task errors recorded in {out}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_leader(args: argparse.Namespace) -> None:
@@ -376,17 +402,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append to --out instead of truncating")
     p.add_argument("--quiet", action="store_true",
                    help="suppress progress reporting")
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-task wall-clock limit; overdue workers "
+                        "are killed and the task records a Timeout")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry transient failures (timeout, worker "
+                        "death) this many times with backoff")
+    p.add_argument("--max-failures", type=int, default=None,
+                   help="skip remaining tasks once this many failed")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="stop scheduling new tasks after the first "
+                        "failure (same as --max-failures 1)")
+    p.add_argument("--faults", default=None, metavar="JSON",
+                   help="fault-injection spec applied to every task, "
+                        "e.g. '{\"drop_rate\": 0.02, \"seed\": 7}'")
     p.set_defaults(func=cmd_campaign)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Command handlers return ``None`` (success) or an integer exit
+    code; ``repro campaign`` uses a nonzero code to signal that some
+    tasks failed even though the campaign itself completed.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    code = args.func(args)
+    return 0 if code is None else int(code)
 
 
 if __name__ == "__main__":

@@ -13,6 +13,8 @@ Public surface:
   — the per-node programming model.
 * :class:`~repro.congest.message.Message` and friends — bit-accounted messages.
 * :class:`~repro.congest.metrics.RunMetrics` — rounds / messages / bits.
+* :class:`~repro.congest.faults.FaultSpec` / :func:`~repro.congest.faults.resilient`
+  — deterministic fault injection and loss-tolerant execution.
 """
 
 from .bandwidth import (
@@ -29,6 +31,14 @@ from .errors import (
     GraphError,
     ProtocolError,
     RoundLimitExceededError,
+)
+from .faults import (
+    FaultPlan,
+    FaultReport,
+    FaultSpec,
+    LinkOutage,
+    ResilientNode,
+    resilient,
 )
 from .mailbox import Inbox, Outbox
 from .message import (
@@ -50,16 +60,21 @@ __all__ = [
     "BandwidthPolicy",
     "CongestError",
     "EncodingError",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSpec",
     "GraphError",
     "IdMessage",
     "INFINITY",
     "Inbox",
+    "LinkOutage",
     "Message",
     "Network",
     "NodeAlgorithm",
     "NodeContext",
     "Outbox",
     "ProtocolError",
+    "ResilientNode",
     "RoundLimitExceededError",
     "RunMetrics",
     "RunResult",
@@ -72,5 +87,6 @@ __all__ = [
     "default_bandwidth",
     "make_policy",
     "register_message",
+    "resilient",
     "run_algorithm",
 ]

@@ -32,6 +32,16 @@ class RunMetrics:
     #: Cumulative bits per directed edge; populated only if edge tracking
     #: was requested (it costs memory proportional to the edge count).
     edge_bits: Optional[Dict[DirectedEdge, int]] = None
+    #: Messages/bits lost to random per-message drops (fault injection).
+    messages_dropped: int = 0
+    bits_dropped: int = 0
+    #: Messages/bits suppressed by link outages or crashed receivers.
+    messages_suppressed: int = 0
+    bits_suppressed: int = 0
+    #: Nodes that crash-stopped during the run.
+    nodes_crashed: int = 0
+    #: Nodes still live when a faulty run hit the round-limit guard.
+    nodes_stalled: int = 0
 
     def record_round(
         self,
@@ -55,12 +65,34 @@ class RunMetrics:
         self.messages_per_round.append(round_messages)
         self.bits_per_round.append(round_bits)
 
+    def record_dropped(self, msg_count: int, bit_count: int) -> None:
+        """Count traffic lost to random per-message drops."""
+        self.messages_dropped += msg_count
+        self.bits_dropped += bit_count
+
+    def record_suppressed(self, msg_count: int, bit_count: int) -> None:
+        """Count traffic suppressed by link outages / crashed receivers."""
+        self.messages_suppressed += msg_count
+        self.bits_suppressed += bit_count
+
+    @property
+    def fault_counters_active(self) -> bool:
+        """Whether any fault-injection counter is nonzero."""
+        return bool(
+            self.messages_dropped or self.bits_dropped
+            or self.messages_suppressed or self.bits_suppressed
+            or self.nodes_crashed or self.nodes_stalled
+        )
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-pure rendering (harness records, result stores).
 
         ``edge_bits`` becomes a sorted ``[sender, receiver, bits]``
         list (JSON has no tuple keys) and is omitted entirely when edge
-        tracking was off, matching the ``Optional`` semantics.
+        tracking was off, matching the ``Optional`` semantics.  The
+        fault counters appear only when at least one is nonzero, so
+        fault-free records keep their historical shape and old cache
+        entries remain byte-comparable with fresh runs.
         """
         data: Dict[str, object] = {
             "rounds": self.rounds,
@@ -71,6 +103,13 @@ class RunMetrics:
             "messages_per_round": list(self.messages_per_round),
             "bits_per_round": list(self.bits_per_round),
         }
+        if self.fault_counters_active:
+            data["messages_dropped"] = self.messages_dropped
+            data["bits_dropped"] = self.bits_dropped
+            data["messages_suppressed"] = self.messages_suppressed
+            data["bits_suppressed"] = self.bits_suppressed
+            data["nodes_crashed"] = self.nodes_crashed
+            data["nodes_stalled"] = self.nodes_stalled
         if self.edge_bits is not None:
             data["edge_bits"] = [
                 [sender, receiver, bits]
@@ -104,6 +143,12 @@ class RunMetrics:
                 int(x) for x in data.get("bits_per_round", [])
             ],
             edge_bits=edge_bits,
+            messages_dropped=int(data.get("messages_dropped", 0)),
+            bits_dropped=int(data.get("bits_dropped", 0)),
+            messages_suppressed=int(data.get("messages_suppressed", 0)),
+            bits_suppressed=int(data.get("bits_suppressed", 0)),
+            nodes_crashed=int(data.get("nodes_crashed", 0)),
+            nodes_stalled=int(data.get("nodes_stalled", 0)),
         )
 
     def bits_across_cut(self, side_a: FrozenSet[int]) -> int:

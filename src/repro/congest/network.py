@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 from ..graphs.graph import Graph
 from .bandwidth import BandwidthPolicy, make_policy
 from .errors import GraphError, ProtocolError, RoundLimitExceededError
+from .faults import FaultPlan, FaultReport, FaultSpec, ensure_plan
 from .mailbox import Inbox
 from .message import Message, SizeModel
 from .metrics import RunMetrics
@@ -51,12 +52,21 @@ def default_bandwidth(n: int) -> int:
 
 @dataclass
 class RunResult:
-    """Outcome of a completed simulation."""
+    """Outcome of a completed simulation.
 
-    #: Per-node return values of the node programs.
+    Under fault injection ``results`` may be *partial*: crash-stopped
+    nodes and nodes still stalled when the round-limit guard stopped
+    the run have no entry, and ``fault_report`` describes what
+    happened.  Without faults every node has a result and
+    ``fault_report`` is ``None``.
+    """
+
+    #: Per-node return values of the node programs that halted normally.
     results: Dict[int, Any]
     #: Round/message/bit statistics.
     metrics: RunMetrics
+    #: Structured fault outcome; set iff fault injection was configured.
+    fault_report: Optional[FaultReport] = None
 
     @property
     def rounds(self) -> int:
@@ -85,9 +95,17 @@ class Network:
         Seed for private and public randomness.
     max_rounds:
         Safety limit; default ``20 * n + 1000`` which every algorithm in
-        this package stays well under.
+        this package stays well under.  With faults configured, hitting
+        the limit stops the run gracefully (partial results) instead of
+        raising.
     track_edges:
         Record cumulative per-edge bits (needed for cut audits).
+    faults:
+        Optional deterministic fault injection: a
+        :class:`~repro.congest.faults.FaultSpec`, a compiled
+        :class:`~repro.congest.faults.FaultPlan`, or a plain mapping in
+        ``FaultSpec.to_dict`` form.  ``None`` (default) simulates the
+        paper's perfectly reliable network.
     """
 
     def __init__(
@@ -101,6 +119,7 @@ class Network:
         seed: int = 0,
         max_rounds: Optional[int] = None,
         track_edges: bool = False,
+        faults: "FaultSpec | FaultPlan | Mapping[str, Any] | None" = None,
     ) -> None:
         if graph.n == 0:
             raise GraphError("cannot simulate an empty graph")
@@ -117,6 +136,11 @@ class Network:
         )
         self.metrics = RunMetrics(edge_bits={} if track_edges else None)
         self.round_no = 0
+        self.fault_plan: Optional[FaultPlan] = ensure_plan(faults)
+        self.fault_report: Optional[FaultReport] = (
+            FaultReport() if self.fault_plan is not None else None
+        )
+        self._stopped = False
         inputs = inputs or {}
 
         self._states: Dict[int, NodeState] = {}
@@ -142,6 +166,8 @@ class Network:
         """Round 0: run every program to its first yield."""
         for uid in self.graph.nodes:
             state = self._states[uid]
+            if self._crash_if_due(uid, state, 0):
+                continue
             generator = state.algorithm.program()
             state.generator = generator
             try:
@@ -167,12 +193,68 @@ class Network:
         for receiver, messages in outbox.items():
             self._staged.setdefault((uid, receiver), []).extend(messages)
 
+    def _crash_if_due(self, uid: int, state: NodeState, round_no: int) -> bool:
+        """Apply a scheduled crash-stop; returns whether ``uid`` is down."""
+        if self.fault_plan is None or state.halted:
+            return False
+        if state.crashed:
+            return True
+        if not self.fault_plan.is_crashed(uid, round_no):
+            return False
+        state.crashed = True
+        state.generator = None
+        crash_round = self.fault_plan.crash_round(uid)
+        self.fault_report.crashed[uid] = crash_round
+        self.metrics.nodes_crashed += 1
+        return True
+
+    def _filter_faults(
+        self, deliveries: Dict[Tuple[int, int], List[Message]]
+    ) -> Dict[Tuple[int, int], List[Message]]:
+        """Apply the fault plan to this round's deliveries.
+
+        Suppression (link down / crashed receiver) and random drops
+        happen *at delivery time*, after bandwidth policing, so lost
+        traffic still consumed link budget but never counts as
+        delivered.
+        """
+        plan, report = self.fault_plan, self.fault_report
+        filtered: Dict[Tuple[int, int], List[Message]] = {}
+        for edge in sorted(deliveries):
+            sender, receiver = edge
+            messages = deliveries[edge]
+            bits = sum(msg.size_bits(self.size_model) for msg in messages)
+            if (
+                plan.link_down(sender, receiver, self.round_no)
+                or plan.is_crashed(receiver, self.round_no)
+            ):
+                self.metrics.record_suppressed(len(messages), bits)
+                report.messages_suppressed += len(messages)
+                continue
+            kept: List[Message] = []
+            for index, message in enumerate(messages):
+                if plan.drops(sender, receiver, self.round_no, index):
+                    self.metrics.record_dropped(
+                        1, message.size_bits(self.size_model)
+                    )
+                    report.messages_dropped += 1
+                else:
+                    kept.append(message)
+            if kept:
+                filtered[edge] = kept
+        return filtered
+
     @property
     def running(self) -> bool:
         """Whether any node program is still live or backlog remains."""
+        if self._stopped:
+            return False
         if not self._started:
             return True
-        if any(not state.halted for state in self._states.values()):
+        if any(
+            not state.halted and not state.crashed
+            for state in self._states.values()
+        ):
             return True
         return bool(self._staged) or self.policy.has_backlog
 
@@ -184,10 +266,20 @@ class Network:
         if not self.running:
             return False
         if self.round_no >= self.max_rounds:
-            unfinished = sum(
-                1 for state in self._states.values() if not state.halted
+            unfinished = sorted(
+                uid for uid, state in self._states.items()
+                if not state.halted and not state.crashed
             )
-            raise RoundLimitExceededError(self.max_rounds, unfinished)
+            if self.fault_plan is not None:
+                # Graceful degradation: a fault-injected run never
+                # hangs and never hard-fails — it stops here with
+                # partial results and a report naming the stalled nodes.
+                self.fault_report.stalled = tuple(unfinished)
+                self.fault_report.round_limit = self.max_rounds
+                self.metrics.nodes_stalled = len(unfinished)
+                self._stopped = True
+                return False
+            raise RoundLimitExceededError(self.max_rounds, len(unfinished))
         self.round_no += 1
 
         # Police staged traffic and build inboxes.
@@ -206,6 +298,9 @@ class Network:
                 elif admitted:
                     deliveries[edge] = admitted
 
+        if self.fault_plan is not None:
+            deliveries = self._filter_faults(deliveries)
+
         self.metrics.record_round(
             (
                 edge,
@@ -222,7 +317,9 @@ class Network:
         # Resume every live node program with its inbox.
         for uid in self.graph.nodes:
             state = self._states[uid]
-            if state.halted:
+            if state.halted or state.crashed:
+                continue
+            if self._crash_if_due(uid, state, self.round_no):
                 continue
             inbox = Inbox(inbox_map.get(uid, {}))
             state.algorithm.round = self.round_no
@@ -234,8 +331,21 @@ class Network:
         return self.running
 
     def run(self) -> RunResult:
-        """Run to completion and return per-node results plus metrics."""
+        """Run to completion and return per-node results plus metrics.
+
+        Fault-free runs finish with every node halted; fault-injected
+        runs may return partial results (crashed or stalled nodes have
+        no entry) plus a :class:`~repro.congest.faults.FaultReport`.
+        """
         while self.step():
             pass
-        results = {uid: state.result for uid, state in self._states.items()}
-        return RunResult(results=results, metrics=self.metrics)
+        results = {
+            uid: state.result
+            for uid, state in self._states.items()
+            if state.halted
+        }
+        return RunResult(
+            results=results,
+            metrics=self.metrics,
+            fault_report=self.fault_report,
+        )

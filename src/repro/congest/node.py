@@ -146,3 +146,6 @@ class NodeState:
     generator: Optional[NodeProgram] = None
     halted: bool = False
     result: Any = None
+    #: Set when fault injection crash-stopped this node (see
+    #: :mod:`repro.congest.faults`); a crashed node never resumes.
+    crashed: bool = False

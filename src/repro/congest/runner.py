@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Mapping, Optional
 
 from ..graphs.graph import Graph
+from .faults import FaultPlan, FaultSpec
 from .network import AlgorithmFactory, Network, RunResult
 
 
@@ -18,6 +19,7 @@ def run_algorithm(
     seed: int = 0,
     max_rounds: Optional[int] = None,
     track_edges: bool = False,
+    faults: "FaultSpec | FaultPlan | Mapping[str, Any] | None" = None,
 ) -> RunResult:
     """Build a :class:`~repro.congest.network.Network` and run it to the end.
 
@@ -34,5 +36,6 @@ def run_algorithm(
         seed=seed,
         max_rounds=max_rounds,
         track_edges=track_edges,
+        faults=faults,
     )
     return network.run()

@@ -41,6 +41,7 @@ from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
 from ..congest.errors import GraphError
 from ..congest.metrics import RunMetrics
+from ..congest.faults import FaultsLike
 from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
@@ -176,6 +177,7 @@ def run_approx_properties(
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
     policy: str = "strict",
+    faults: FaultsLike = None,
 ) -> ApproxPropertySummary:
     """Run the Theorem 4 / Corollary 4 pipeline on ``graph``."""
     validate_apsp_input(graph)
@@ -189,6 +191,7 @@ def run_approx_properties(
         seed=seed,
         bandwidth_bits=bandwidth_bits,
         policy=policy,
+        faults=faults,
     )
     outcome = network.run()
     return ApproxPropertySummary(

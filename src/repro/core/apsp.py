@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..congest.errors import GraphError
+from ..congest.faults import FaultsLike
 from ..congest.network import Network
 from ..congest.node import NodeAlgorithm, NodeContext
 from ..graphs.graph import Graph
@@ -236,11 +237,14 @@ def run_apsp(
     bandwidth_bits: Optional[int] = None,
     policy: str = "strict",
     track_edges: bool = False,
+    faults: FaultsLike = None,
 ) -> ApspSummary:
     """Run Algorithm 1 on ``graph`` and assemble all local results.
 
     Requires a connected graph containing node 1 (the paper's
     assumptions; every generator in :mod:`repro.graphs` satisfies them).
+    With ``faults`` set the run may degrade gracefully to partial
+    results (see :mod:`repro.congest.faults`).
     """
     validate_apsp_input(graph)
     factory = ApspGirthNode if collect_girth else ApspNode
@@ -251,6 +255,7 @@ def run_apsp(
         bandwidth_bits=bandwidth_bits,
         policy=policy,
         track_edges=track_edges,
+        faults=faults,
     )
     outcome = network.run()
     return ApspSummary(results=outcome.results, metrics=outcome.metrics)

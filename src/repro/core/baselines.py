@@ -37,6 +37,7 @@ from collections import deque
 from typing import Deque, Dict, Iterable, Optional, Set, Tuple
 
 from ..congest.errors import GraphError
+from ..congest.faults import FaultsLike
 from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
@@ -313,6 +314,7 @@ def run_baseline_apsp(
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
     policy: str = "strict",
+    faults: FaultsLike = None,
 ) -> ApspSummary:
     """Run one of the Section 3.1 baselines end to end.
 
@@ -334,6 +336,6 @@ def run_baseline_apsp(
         )
     outcome = Network(
         graph, factory, seed=seed, bandwidth_bits=bandwidth_bits,
-        policy=policy, max_rounds=200 * graph.n + 20000,
+        policy=policy, max_rounds=200 * graph.n + 20000, faults=faults,
     ).run()
     return ApspSummary(results=outcome.results, metrics=outcome.metrics)

@@ -39,6 +39,7 @@ from typing import Mapping, Optional
 from ..congest.errors import GraphError
 from ..congest.message import INFINITY
 from ..congest.metrics import RunMetrics
+from ..congest.faults import FaultsLike
 from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
@@ -84,11 +85,12 @@ class GirthSummary:
 
 def run_exact_girth(graph: Graph, *, seed: int = 0,
                     bandwidth_bits: Optional[int] = None,
-                    policy: str = "strict") -> GirthSummary:
+                    policy: str = "strict",
+                    faults: FaultsLike = None) -> GirthSummary:
     """Lemma 7: exact girth in ``O(n)`` rounds."""
     summary = run_graph_properties(
         graph, include_girth=True, seed=seed,
-        bandwidth_bits=bandwidth_bits, policy=policy,
+        bandwidth_bits=bandwidth_bits, policy=policy, faults=faults,
     )
     results = {
         uid: GirthEstimate(uid=uid, girth=res.girth, exact=True, phases=0)
@@ -160,6 +162,7 @@ def run_approx_girth(
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
     policy: str = "strict",
+    faults: FaultsLike = None,
 ) -> GirthSummary:
     """Theorem 5: ``(×, 1+ε)``-approximate girth."""
     validate_apsp_input(graph)
@@ -168,7 +171,7 @@ def run_approx_girth(
     inputs = {uid: epsilon for uid in graph.nodes}
     network = Network(
         graph, GirthApproxNode, inputs=inputs, seed=seed,
-        bandwidth_bits=bandwidth_bits, policy=policy,
+        bandwidth_bits=bandwidth_bits, policy=policy, faults=faults,
     )
     outcome = network.run()
     return GirthSummary(results=outcome.results, metrics=outcome.metrics)

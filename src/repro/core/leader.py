@@ -36,6 +36,7 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from ..congest.message import IdMessage
 from ..congest.metrics import RunMetrics
+from ..congest.faults import FaultsLike
 from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
@@ -94,6 +95,7 @@ def run_leader_election(
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
     policy: str = "strict",
+    faults: FaultsLike = None,
 ) -> Tuple[Mapping[int, LeaderInfo], RunMetrics]:
     """Elect the minimum id; returns ``(per-node LeaderInfo, metrics)``.
 
@@ -105,7 +107,7 @@ def run_leader_election(
         raise GraphError("leader election requires a connected graph")
     outcome = Network(
         graph, LeaderElectionNode, seed=seed,
-        bandwidth_bits=bandwidth_bits, policy=policy,
+        bandwidth_bits=bandwidth_bits, policy=policy, faults=faults,
     ).run()
     return outcome.results, outcome.metrics
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..congest.message import INFINITY
+from ..congest.faults import FaultsLike
 from ..congest.network import Network
 from ..graphs.graph import Graph
 from .apsp import ApspNode, validate_apsp_input
@@ -93,6 +94,7 @@ def run_graph_properties(
     bandwidth_bits: Optional[int] = None,
     policy: str = "strict",
     track_edges: bool = False,
+    faults: FaultsLike = None,
 ) -> PropertySummary:
     """Compute all Lemma 2–7 properties in one ``O(n)``-round run."""
     validate_apsp_input(graph)
@@ -104,6 +106,7 @@ def run_graph_properties(
         bandwidth_bits=bandwidth_bits,
         policy=policy,
         track_edges=track_edges,
+        faults=faults,
     )
     outcome = network.run()
     return PropertySummary(results=outcome.results, metrics=outcome.metrics)

@@ -54,6 +54,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..congest.errors import GraphError
+from ..congest.faults import FaultsLike
 from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
@@ -270,6 +271,7 @@ def run_ssp(
     policy: str = "strict",
     track_edges: bool = False,
     priority: str = PRIORITY_DIST_ID,
+    faults: FaultsLike = None,
 ) -> SspSummary:
     """Run Algorithm 2 for source set ``sources`` and assemble results."""
     validate_apsp_input(graph)
@@ -287,6 +289,7 @@ def run_ssp(
         bandwidth_bits=bandwidth_bits,
         policy=policy,
         track_edges=track_edges,
+        faults=faults,
     )
     result = network.run()
     return SspSummary(

@@ -32,6 +32,7 @@ from typing import Mapping, Optional
 
 from ..congest.message import INFINITY
 from ..congest.metrics import RunMetrics
+from ..congest.faults import FaultsLike
 from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
@@ -140,12 +141,13 @@ def run_two_vs_four(
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
     policy: str = "strict",
+    faults: FaultsLike = None,
 ) -> TwoVsFourSummary:
     """Run Algorithm 3 on a graph promised to have diameter 2 or 4."""
     validate_apsp_input(graph)
     outcome = Network(
         graph, TwoVsFourNode, seed=seed, bandwidth_bits=bandwidth_bits,
-        policy=policy,
+        policy=policy, faults=faults,
     ).run()
     return TwoVsFourSummary(results=outcome.results,
                             metrics=outcome.metrics)

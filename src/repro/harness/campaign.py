@@ -8,6 +8,19 @@ or completion interleaving.  Per-task seeding is deterministic too:
 the simulator seed is part of the task itself, never derived from
 worker identity or scheduling.
 
+Execution is hardened against hostile tasks (docs/harness.md):
+
+* a per-task wall-clock **timeout** kills overdue workers and records a
+  ``Timeout`` error instead of hanging the campaign;
+* a worker process dying (segfault, ``os._exit``, OOM-kill) is
+  contained: the pool is respawned and only the in-flight tasks are
+  affected, each recorded as ``WorkerCrashed`` — never the whole run;
+* **transient** failures (timeouts, worker death) are retried up to
+  ``retries`` times with exponential backoff; deterministic in-task
+  exceptions are *not* retried — rerunning them cannot help;
+* ``max_failures`` / ``fail_fast`` stop scheduling new tasks once the
+  failure budget is spent; unscheduled tasks get ``Skipped`` records.
+
 Every record carries the task's content ``key`` plus a ``timing`` block
 (``elapsed_s``, ``cache_hit``) which is the *only* non-deterministic
 part; :func:`repro.harness.store.strip_timing` removes it for
@@ -19,15 +32,25 @@ from __future__ import annotations
 import multiprocessing
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from .cache import RunCache
 from .progress import ProgressReporter
 from .runner import execute_task
 from .spec import CampaignSpec, Task
 from .store import ResultStore
+
+#: Error records keep at most this much traceback text (the tail).
+_TRACEBACK_CHARS = 4000
 
 
 @dataclass
@@ -39,6 +62,8 @@ class CampaignSummary:
     cache_hits: int = 0
     executed: int = 0
     failures: int = 0
+    retried: int = 0
+    skipped: int = 0
     elapsed_s: float = 0.0
 
     @property
@@ -58,8 +83,12 @@ class CampaignSummary:
             f"{self.cache_hits} from cache ({self.hit_rate:.0%})",
             f"{self.executed} executed",
         ]
+        if self.retried:
+            parts.append(f"{self.retried} retried")
         if self.failures:
             parts.append(f"{self.failures} FAILED")
+        if self.skipped:
+            parts.append(f"{self.skipped} skipped")
         parts.append(f"{self.elapsed_s:.2f}s")
         return " · ".join(parts)
 
@@ -81,6 +110,18 @@ def _finalize(
     return out
 
 
+def _truncated_traceback() -> str:
+    """The current exception's traceback, truncated to the tail.
+
+    The tail keeps the innermost frames — the ones that say where the
+    task actually blew up — while bounding record size.
+    """
+    text = traceback.format_exc().strip()
+    if len(text) > _TRACEBACK_CHARS:
+        text = "... (truncated)\n" + text[-_TRACEBACK_CHARS:]
+    return text
+
+
 def _execute_indexed(
     job: Tuple[int, Task],
 ) -> Tuple[int, Optional[Dict[str, Any]], Optional[Dict[str, str]], float]:
@@ -88,14 +129,19 @@ def _execute_indexed(
 
     Returns ``(index, record, error, elapsed_s)`` with exactly one of
     ``record``/``error`` set, so a bad task fails its own record instead
-    of poisoning the pool.
+    of poisoning the pool.  Errors carry the (truncated) traceback so a
+    failed campaign is debuggable from its JSONL store alone.
     """
     index, task = job
     started = time.perf_counter()
     try:
         record = execute_task(task)
     except Exception as exc:  # noqa: BLE001 — reported per-task
-        error = {"type": type(exc).__name__, "message": str(exc)}
+        error = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": _truncated_traceback(),
+        }
         return index, None, error, time.perf_counter() - started
     return index, record, None, time.perf_counter() - started
 
@@ -115,6 +161,27 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly stop a pool, killing workers that ignore shutdown.
+
+    Used when a task overruns its timeout (the stuck worker would
+    otherwise run forever) and when abandoning a broken pool.  SIGTERM
+    first, escalating to SIGKILL for workers that ignore it.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in processes:
+        try:
+            proc.terminate()
+        except (OSError, ValueError):
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+
+
 def run_tasks(
     tasks: Sequence[Task],
     *,
@@ -126,6 +193,11 @@ def run_tasks(
     name: str = "campaign",
     progress: Optional[ProgressReporter] = None,
     store: Optional[ResultStore] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.5,
+    max_failures: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> CampaignSummary:
     """Execute ``tasks``, reusing cached runs; records come back in order.
 
@@ -133,6 +205,13 @@ def run_tasks(
     cache; ``use_cache=False`` forces recomputation while still
     *writing* fresh entries, so a once-suspect cache heals itself.
     ``store`` receives every record (in task order) when given.
+
+    Hardening knobs (see the module docstring): ``timeout_s`` bounds
+    each task's wall clock (forces pool execution even with one
+    worker, so the overdue worker can be killed); ``retries`` reruns
+    transient failures with ``backoff_s * 2**attempt`` pauses;
+    ``max_failures`` / ``fail_fast`` cap how many failures the
+    campaign tolerates before skipping the rest.
     """
     started = time.perf_counter()
     if cache is None and cache_dir is not None:
@@ -172,27 +251,45 @@ def run_tasks(
         if progress:
             progress.task_done(cache_hit=False, failed=error is not None)
 
+    def skip(index: int) -> None:
+        slots[index] = _finalize(
+            {
+                "task": tasks[index].payload(),
+                "error": {
+                    "type": "Skipped",
+                    "message": "not run: campaign failure limit reached",
+                },
+            },
+            keys[index], elapsed_s=0.0, cache_hit=False,
+        )
+        summary.skipped += 1
+        if progress:
+            progress.task_done(cache_hit=False)
+
+    failure_limit = 1 if fail_fast else max_failures
     workers = min(max(1, jobs), max(1, len(pending)))
-    if workers <= 1 or len(pending) <= 1:
+    # The in-process fast path cannot kill overdue tasks, survive a
+    # crashing task, or retry a dead worker — any hardening knob (or
+    # more than one worker) forces pool execution.
+    needs_pool = bool(pending) and (
+        jobs > 1 or timeout_s is not None or retries > 0
+    )
+    if not needs_pool:
         for index in pending:
+            if failure_limit is not None and summary.failures >= failure_limit:
+                skip(index)
+                continue
             settle(*_execute_indexed((index, tasks[index])))
     else:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=_pool_context(),
-            initializer=_init_worker,
-            initargs=(list(sys.path),),
-        ) as pool:
-            futures = {
-                pool.submit(_execute_indexed, (index, tasks[index]))
-                for index in pending
-            }
-            while futures:
-                finished, futures = wait(
-                    futures, return_when=FIRST_COMPLETED
-                )
-                for future in finished:
-                    settle(*future.result())
+        _run_pool(
+            tasks, pending, settle, skip,
+            workers=workers,
+            timeout_s=timeout_s,
+            retries=max(0, retries),
+            backoff_s=max(0.0, backoff_s),
+            failure_limit=failure_limit,
+            summary=summary,
+        )
 
     summary.records = [slot for slot in slots if slot is not None]
     summary.elapsed_s = time.perf_counter() - started
@@ -201,6 +298,209 @@ def run_tasks(
     if store is not None:
         store.extend(summary.records)
     return summary
+
+
+def _run_pool(
+    tasks: Sequence[Task],
+    pending: Sequence[int],
+    settle,
+    skip,
+    *,
+    workers: int,
+    timeout_s: Optional[float],
+    retries: int,
+    backoff_s: float,
+    failure_limit: Optional[int],
+    summary: CampaignSummary,
+) -> None:
+    """The hardened parallel execution loop (see module docstring).
+
+    Keeps at most ``workers`` futures in flight so a timeout or crash
+    only ever disturbs that many tasks; tracks a wall-clock deadline
+    per future; and survives both overdue tasks (pool killed and
+    respawned, overdue task marked ``Timeout``) and broken pools.
+    Transient failures re-enter the queue until their retry budget runs
+    out; tasks merely *displaced* by a pool kill or a sibling's crash
+    are resubmitted without consuming an attempt.
+
+    Crash blame is isolated: when a worker dies the executor cannot
+    say *which* in-flight task killed it, so nobody is charged — every
+    implicated task becomes a *suspect* and re-runs alone.  A suspect
+    that crashes solo is definitely the culprit (``WorkerCrashed``,
+    one attempt consumed); a suspect that completes solo is exonerated
+    and normal parallelism resumes.
+    """
+    queue: Deque[Tuple[int, int]] = deque((i, 0) for i in pending)
+    #: future -> (task index, attempt number, absolute deadline or None)
+    inflight: Dict[Any, Tuple[int, int, Optional[float]]] = {}
+    #: task indices implicated in a pool breakage; they run solo.
+    suspects: set = set()
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(list(sys.path),),
+        )
+
+    def transient_failure(
+        index: int, attempt: int, kind: str, message: str, elapsed: float
+    ) -> None:
+        """Retry a timeout/crash, or settle its error record when spent."""
+        if attempt < retries:
+            summary.retried += 1
+            delay = backoff_s * (2 ** attempt)
+            if delay > 0:
+                time.sleep(delay)
+            queue.append((index, attempt + 1))
+        else:
+            settle(
+                index, None,
+                {
+                    "type": kind,
+                    "message": message,
+                    "attempts": attempt + 1,
+                },
+                elapsed,
+            )
+
+    def drain_unsettled() -> List[Tuple[int, int]]:
+        """Salvage finished in-flight futures; return the rest.
+
+        Called when the pool is about to be killed or is already
+        broken: futures that completed keep their results, the rest
+        come back as ``(index, attempt)`` pairs for the caller to
+        requeue — without consuming a retry attempt.
+        """
+        leftover: List[Tuple[int, int]] = []
+        for future, (index, attempt, _) in list(inflight.items()):
+            outcome = None
+            if future.done():
+                try:
+                    outcome = future.result(timeout=0)
+                except Exception:  # noqa: BLE001 — broken/cancelled
+                    outcome = None
+            if outcome is not None:
+                suspects.discard(index)
+                settle(*outcome)
+            else:
+                leftover.append((index, attempt))
+        inflight.clear()
+        return leftover
+
+    pool = make_pool()
+    try:
+        while queue or inflight:
+            if (
+                failure_limit is not None
+                and summary.failures >= failure_limit
+            ):
+                while queue:
+                    skip(queue.popleft()[0])
+                if not inflight:
+                    break
+            solo_running = any(
+                idx in suspects for (idx, _, _) in inflight.values()
+            )
+            while queue and len(inflight) < workers and not solo_running:
+                if (
+                    failure_limit is not None
+                    and summary.failures >= failure_limit
+                ):
+                    break
+                index, attempt = queue[0]
+                if index in suspects and inflight:
+                    break  # wait for the lanes to clear first
+                queue.popleft()
+                future = pool.submit(
+                    _execute_indexed, (index, tasks[index])
+                )
+                deadline = (
+                    time.monotonic() + timeout_s
+                    if timeout_s is not None else None
+                )
+                inflight[future] = (index, attempt, deadline)
+                if index in suspects:
+                    break  # run the suspect alone
+            if not inflight:
+                continue
+
+            wait_s = None
+            if timeout_s is not None:
+                now = time.monotonic()
+                wait_s = max(
+                    0.0,
+                    min(d for (_, _, d) in inflight.values()) - now,
+                )
+            done, _ = wait(
+                set(inflight), timeout=wait_s,
+                return_when=FIRST_COMPLETED,
+            )
+
+            broken = False
+            casualties: List[Tuple[int, int]] = []
+            for future in done:
+                index, attempt, _ = inflight.pop(future)
+                try:
+                    outcome = future.result()
+                except BrokenExecutor:
+                    broken = True
+                    casualties.append((index, attempt))
+                    continue
+                suspects.discard(index)
+                settle(*outcome)
+
+            if broken:
+                # Every remaining future on a broken pool fails too;
+                # salvage what finished, then apportion blame: a task
+                # that was running *alone* is definitely the culprit,
+                # otherwise all implicated tasks become suspects and
+                # re-run solo (no attempt consumed) on a fresh pool.
+                casualties.extend(drain_unsettled())
+                if len(casualties) == 1:
+                    index, attempt = casualties[0]
+                    suspects.add(index)  # keep any retry solo too
+                    transient_failure(
+                        index, attempt, "WorkerCrashed",
+                        "the worker process running this task died "
+                        "unexpectedly",
+                        0.0,
+                    )
+                else:
+                    for index, attempt in casualties:
+                        suspects.add(index)
+                        queue.appendleft((index, attempt))
+                _terminate_pool(pool)
+                pool = make_pool()
+                continue
+
+            if timeout_s is not None:
+                now = time.monotonic()
+                overdue = [
+                    future
+                    for future, (_, _, deadline) in inflight.items()
+                    if deadline is not None and deadline <= now
+                    and not future.done()
+                ]
+                if overdue:
+                    # There is no portable way to kill one worker, so
+                    # kill the pool; tasks merely displaced by the kill
+                    # are resubmitted without consuming an attempt.
+                    for future in overdue:
+                        index, attempt, _ = inflight.pop(future)
+                        transient_failure(
+                            index, attempt, "Timeout",
+                            f"task exceeded the {timeout_s:g}s "
+                            f"wall-clock limit",
+                            timeout_s,
+                        )
+                    for index, attempt in drain_unsettled():
+                        queue.appendleft((index, attempt))
+                    _terminate_pool(pool)
+                    pool = make_pool()
+    finally:
+        _terminate_pool(pool)
 
 
 def run_campaign(
@@ -213,12 +513,19 @@ def run_campaign(
     append: bool = False,
     show_progress: bool = False,
     progress_stream=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.5,
+    max_failures: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> CampaignSummary:
     """Expand a sweep spec and run it end to end.
 
     When ``store_path`` is given the records land there as JSONL;
     unless ``append`` is set the store is truncated first so repeated
-    invocations stay byte-comparable.
+    invocations stay byte-comparable.  The hardening knobs
+    (``timeout_s``, ``retries``, ``backoff_s``, ``max_failures``,
+    ``fail_fast``) pass straight through to :func:`run_tasks`.
     """
     if not isinstance(spec, CampaignSpec):
         spec = CampaignSpec.from_dict(spec)
@@ -242,4 +549,9 @@ def run_campaign(
         name=spec.name,
         progress=progress,
         store=store,
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+        max_failures=max_failures,
+        fail_fast=fail_fast,
     )

@@ -21,6 +21,8 @@ by :mod:`.campaign`, outside the deterministic core.
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Any, Callable, Dict, List, Mapping, Tuple
 
 from .. import core
@@ -43,7 +45,29 @@ def _common(params: Dict[str, Any]) -> Dict[str, Any]:
         "seed": int(params.pop("seed", 0)),
         "policy": str(params.pop("policy", "strict")),
         "bandwidth_bits": params.pop("bandwidth_bits", None),
+        "faults": params.pop("faults", None),
     }
+
+
+def _finish(
+    metrics: RunMetrics, build: Callable[[], Dict[str, Any]]
+) -> Tuple[Dict[str, Any], RunMetrics]:
+    """Assemble ``(result, metrics)``, degrading under fault injection.
+
+    When injected faults crashed or stalled nodes, the run's results
+    are partial and the algorithm's aggregate summaries are undefined,
+    so the record carries a ``degraded`` marker (with the crash/stall
+    counts) instead of possibly-wrong aggregates.  ``build`` is only
+    called — and hence aggregate summaries only computed — for runs
+    where every node halted normally.
+    """
+    if metrics.nodes_crashed or metrics.nodes_stalled:
+        return {
+            "degraded": True,
+            "nodes_crashed": metrics.nodes_crashed,
+            "nodes_stalled": metrics.nodes_stalled,
+        }, metrics
+    return build(), metrics
 
 
 def _reject_leftovers(algorithm: str, params: Mapping[str, Any]) -> None:
@@ -59,10 +83,10 @@ def _run_apsp(graph: Graph, params: Dict[str, Any]):
     collect_girth = bool(params.pop("collect_girth", False))
     _reject_leftovers("apsp", params)
     summary = core.run_apsp(graph, collect_girth=collect_girth, **kwargs)
-    return {
+    return _finish(summary.metrics, lambda: {
         "diameter": summary.diameter(),
         "radius": summary.radius(),
-    }, summary.metrics
+    })
 
 
 def _run_ssp(graph: Graph, params: Dict[str, Any]):
@@ -75,15 +99,19 @@ def _run_ssp(graph: Graph, params: Dict[str, Any]):
         sources = sorted(graph.nodes)[: int(num_sources)]
     _reject_leftovers("ssp", params)
     summary = core.run_ssp(graph, [int(s) for s in sources], **kwargs)
-    max_distance = max(
-        (max(res.distances.values(), default=0)
-         for res in summary.results.values()),
-        default=0,
-    )
-    return {
-        "sources": sorted(summary.sources),
-        "max_distance": max_distance,
-    }, summary.metrics
+
+    def build():
+        max_distance = max(
+            (max(res.distances.values(), default=0)
+             for res in summary.results.values()),
+            default=0,
+        )
+        return {
+            "sources": sorted(summary.sources),
+            "max_distance": max_distance,
+        }
+
+    return _finish(summary.metrics, build)
 
 
 def _run_properties(graph: Graph, params: Dict[str, Any]):
@@ -93,15 +121,19 @@ def _run_properties(graph: Graph, params: Dict[str, Any]):
     summary = core.run_graph_properties(
         graph, include_girth=include_girth, **kwargs
     )
-    result = {
-        "diameter": summary.diameter,
-        "radius": summary.radius,
-        "center": sorted(summary.center()),
-        "peripheral": sorted(summary.peripheral()),
-    }
-    if include_girth:
-        result["girth"] = summary.girth
-    return result, summary.metrics
+
+    def build():
+        result = {
+            "diameter": summary.diameter,
+            "radius": summary.radius,
+            "center": sorted(summary.center()),
+            "peripheral": sorted(summary.peripheral()),
+        }
+        if include_girth:
+            result["girth"] = summary.girth
+        return result
+
+    return _finish(summary.metrics, build)
 
 
 def _run_approx(graph: Graph, params: Dict[str, Any]):
@@ -109,18 +141,18 @@ def _run_approx(graph: Graph, params: Dict[str, Any]):
     epsilon = float(params.pop("epsilon", 0.5))
     _reject_leftovers("approx", params)
     summary = core.run_approx_properties(graph, epsilon, **kwargs)
-    return {
+    return _finish(summary.metrics, lambda: {
         "epsilon": epsilon,
         "diameter_estimate": summary.diameter_estimate,
         "radius_estimate": summary.radius_estimate,
-    }, summary.metrics
+    })
 
 
 def _run_girth(graph: Graph, params: Dict[str, Any]):
     kwargs = _common(params)
     _reject_leftovers("girth", params)
     summary = core.run_exact_girth(graph, **kwargs)
-    return {"girth": summary.girth}, summary.metrics
+    return _finish(summary.metrics, lambda: {"girth": summary.girth})
 
 
 def _run_girth_approx(graph: Graph, params: Dict[str, Any]):
@@ -128,17 +160,20 @@ def _run_girth_approx(graph: Graph, params: Dict[str, Any]):
     epsilon = float(params.pop("epsilon", 0.5))
     _reject_leftovers("girth-approx", params)
     summary = core.run_approx_girth(graph, epsilon, **kwargs)
-    return {"epsilon": epsilon, "girth": summary.girth}, summary.metrics
+    return _finish(
+        summary.metrics,
+        lambda: {"epsilon": epsilon, "girth": summary.girth},
+    )
 
 
 def _run_two_vs_four(graph: Graph, params: Dict[str, Any]):
     kwargs = _common(params)
     _reject_leftovers("two-vs-four", params)
     summary = core.run_two_vs_four(graph, **kwargs)
-    return {
+    return _finish(summary.metrics, lambda: {
         "diameter": summary.diameter,
         "branch": summary.branch,
-    }, summary.metrics
+    })
 
 
 def _run_baseline(graph: Graph, params: Dict[str, Any]):
@@ -150,19 +185,46 @@ def _run_baseline(graph: Graph, params: Dict[str, Any]):
         )
     _reject_leftovers("baseline", params)
     summary = core.run_baseline_apsp(graph, str(variant), **kwargs)
-    return {
+    return _finish(summary.metrics, lambda: {
         "variant": variant,
         "diameter": summary.diameter(),
         "radius": summary.radius(),
-    }, summary.metrics
+    })
 
 
 def _run_leader(graph: Graph, params: Dict[str, Any]):
     kwargs = _common(params)
     _reject_leftovers("leader", params)
     results, metrics = core.run_leader_election(graph, **kwargs)
-    leader = next(iter(results.values())).leader
-    return {"leader": leader}, metrics
+    return _finish(
+        metrics,
+        lambda: {"leader": next(iter(results.values())).leader},
+    )
+
+
+def _run_chaos(graph: Graph, params: Dict[str, Any]):
+    """A deliberately hostile task for exercising harness hardening.
+
+    Modes: ``ok`` (succeed with an empty metrics block), ``error``
+    (raise :class:`TaskError`), ``hang`` (sleep ``seconds`` — pair it
+    with the campaign timeout), ``crash`` (kill the worker process
+    outright).  Real campaigns never use this; tests and the CI
+    fault-smoke job use it to prove timeouts, retries and crash
+    isolation work end to end.
+    """
+    _common(params)  # absorb the shared axes; chaos ignores them
+    mode = str(params.pop("mode", "error"))
+    seconds = float(params.pop("seconds", 3600.0))
+    _reject_leftovers("chaos", params)
+    if mode == "hang":
+        time.sleep(seconds)
+    elif mode == "crash":
+        os._exit(13)
+    elif mode == "error":
+        raise TaskError("chaos task failed on purpose")
+    elif mode != "ok":
+        raise TaskError(f"unknown chaos mode {mode!r}")
+    return {"mode": mode}, RunMetrics()
 
 
 _ALGORITHMS: Dict[str, Adapter] = {
@@ -175,6 +237,7 @@ _ALGORITHMS: Dict[str, Adapter] = {
     "two-vs-four": _run_two_vs_four,
     "baseline": _run_baseline,
     "leader": _run_leader,
+    "chaos": _run_chaos,
 }
 
 

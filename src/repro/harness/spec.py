@@ -20,7 +20,8 @@ Spec format (all axes optional except ``graphs``)::
       "algorithms": ["apsp", "properties"],
       "policies": ["strict"],          // bandwidth policy axis
       "params": {"epsilon": 0.5},      // extra args for every task
-      "salt": ""                       // extra cache-key salt
+      "salt": "",                      // extra cache-key salt
+      "faults": {"drop_rate": 0.02}    // optional fault injection
     }
 
 Graph entries without a ``{n}`` placeholder name a fixed topology and
@@ -31,7 +32,7 @@ algorithms × graphs × sizes × seeds × policies, in the order written.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -41,6 +42,29 @@ from .hashing import task_key
 
 class SpecError(ValueError):
     """A campaign spec is malformed."""
+
+
+def _normalize_faults(value: Any) -> Optional[Dict[str, Any]]:
+    """Validate a spec-level fault description, canonicalized.
+
+    Accepts ``None``, a :class:`~repro.congest.faults.FaultSpec`, or a
+    plain mapping in ``FaultSpec.to_dict`` form.  Returns the canonical
+    dict form (so cache keys are independent of how the faults were
+    spelled), or ``None`` for no-op fault specs — a campaign with
+    ``{"drop_rate": 0}`` keys identically to one with no faults at all.
+    """
+    if value is None:
+        return None
+    from ..congest.faults import FaultSpec
+
+    try:
+        spec = (
+            value if isinstance(value, FaultSpec)
+            else FaultSpec.from_dict(value)
+        )
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"bad 'faults' spec: {exc}")
+    return None if spec.is_noop else spec.to_dict()
 
 
 def _freeze(value: Any) -> Any:
@@ -129,10 +153,12 @@ class CampaignSpec:
     policies: Sequence[str] = ("strict",)
     params: Mapping[str, Any] = field(default_factory=dict)
     salt: str = ""
+    #: Canonical fault-injection dict applied to every task, or None.
+    faults: Optional[Mapping[str, Any]] = None
 
     _FIELDS = (
         "name", "graphs", "sizes", "seeds", "algorithms", "policies",
-        "params", "salt",
+        "params", "salt", "faults",
     )
 
     @classmethod
@@ -164,6 +190,11 @@ class CampaignSpec:
                 raise SpecError(
                     f"'{reserved}' is a sweep axis, not a shared param"
                 )
+        faults = _normalize_faults(data.get("faults"))
+        if faults is not None and "faults" in params:
+            raise SpecError(
+                "give 'faults' either top-level or inside params, not both"
+            )
         return cls(
             name=str(data.get("name", "campaign")),
             graphs=graphs,
@@ -173,7 +204,17 @@ class CampaignSpec:
             policies=list(data.get("policies", ("strict",))),
             params=params,
             salt=str(data.get("salt", "")),
+            faults=faults,
         )
+
+    def with_faults(self, faults: Any) -> "CampaignSpec":
+        """A copy of this spec with fault injection applied everywhere.
+
+        ``faults`` is validated and canonicalized exactly as the
+        ``"faults"`` spec field would be (the CLI's ``--faults`` flag
+        routes through here).
+        """
+        return replace(self, faults=_normalize_faults(faults))
 
     def expand(self) -> List[Task]:
         """Expand the sweep into its ordered, deduplicated task list."""
@@ -191,11 +232,14 @@ class CampaignSpec:
                 for graph in concrete:
                     for seed in self.seeds:
                         for policy in self.policies:
-                            task = Task.make(graph, algorithm, {
+                            task_params = {
                                 **self.params,
                                 "seed": seed,
                                 "policy": policy,
-                            })
+                            }
+                            if self.faults is not None:
+                                task_params["faults"] = self.faults
+                            task = Task.make(graph, algorithm, task_params)
                             if task not in seen:
                                 seen.add(task)
                                 tasks.append(task)

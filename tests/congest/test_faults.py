@@ -1,0 +1,285 @@
+"""Deterministic fault injection: spec round-trips, drop determinism,
+link outages, crash-stops with graceful degradation, and the
+``resilient()`` retransmit wrapper keeping BFS exact under loss."""
+
+import json
+
+import pytest
+
+from repro.congest import (
+    FaultPlan,
+    FaultReport,
+    FaultSpec,
+    LinkOutage,
+    Network,
+    NodeAlgorithm,
+    ValueMessage,
+    resilient,
+    run_algorithm,
+)
+from repro.congest.faults import ensure_plan
+from repro.graphs import generators
+
+
+class BfsNode(NodeAlgorithm):
+    """Minimal BFS wave from node 1; each node returns its depth.
+
+    Runs exactly ``n`` logical rounds so every node halts in the same
+    round regardless of faults (no completion signalling — losses show
+    up as wrong/missing depths, which is what the tests assert on).
+    """
+
+    def program(self):
+        depth = 0 if self.uid == 1 else None
+        if depth == 0:
+            self.send_all(ValueMessage(0))
+        for _ in range(self.n):
+            inbox = yield
+            best = min(
+                (msg.value for _, msg in inbox.items()
+                 if isinstance(msg, ValueMessage)),
+                default=None,
+            )
+            if best is not None and (depth is None or best + 1 < depth):
+                depth = best + 1
+                self.send_all(ValueMessage(depth))
+        return depth
+
+
+def bfs_depths(graph):
+    """Reference BFS depths from node 1, computed centrally."""
+    depths = {1: 0}
+    frontier = [1]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for nb in graph.neighbors(node):
+                if nb not in depths:
+                    depths[nb] = depths[node] + 1
+                    nxt.append(nb)
+        frontier = nxt
+    return depths
+
+
+class TestFaultSpec:
+    def test_round_trip(self):
+        spec = FaultSpec(
+            drop_rate=0.25, seed=9,
+            links=(LinkOutage(1, 2, 3, 7),),
+            crashes=((4, 5),),
+        )
+        again = FaultSpec.from_dict(spec.to_dict())
+        assert again == spec
+        # ... and the dict form is JSON-pure.
+        json.dumps(spec.to_dict())
+
+    def test_noop_detection(self):
+        assert FaultSpec().is_noop
+        assert not FaultSpec(drop_rate=0.1).is_noop
+        assert not FaultSpec(crashes=((1, 2),)).is_noop
+
+    def test_bad_drop_rate_rejected(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            FaultSpec(drop_rate=1.5)
+
+    def test_duplicate_crash_rejected(self):
+        with pytest.raises(ValueError, match="at most once"):
+            FaultSpec(crashes=((1, 2), (1, 3)))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault spec"):
+            FaultSpec.from_dict({"drop_rat": 0.1})
+
+    def test_crashes_accepts_mapping_and_pairs(self):
+        by_map = FaultSpec.from_dict({"crashes": {"3": 4}})
+        by_list = FaultSpec.from_dict({"crashes": [[3, 4]]})
+        assert by_map == by_list == FaultSpec(crashes=((3, 4),))
+
+    def test_ensure_plan_forms(self):
+        spec = FaultSpec(drop_rate=0.5)
+        assert ensure_plan(None) is None
+        plan = ensure_plan(spec)
+        assert isinstance(plan, FaultPlan)
+        assert ensure_plan(plan) is plan
+        assert ensure_plan(spec.to_dict()).spec == spec
+        with pytest.raises(TypeError):
+            ensure_plan(42)
+
+
+class TestFaultPlan:
+    def test_drop_decisions_are_deterministic_and_order_free(self):
+        plan_a = FaultPlan(FaultSpec(drop_rate=0.3, seed=5))
+        plan_b = FaultPlan(FaultSpec(drop_rate=0.3, seed=5))
+        queries = [
+            (s, r, rnd, i)
+            for s in (1, 2) for r in (2, 3)
+            for rnd in (1, 4) for i in (0, 1)
+        ]
+        forward = [plan_a.drops(*q) for q in queries]
+        backward = [plan_b.drops(*q) for q in reversed(queries)]
+        assert forward == list(reversed(backward))
+
+    def test_drop_rate_extremes(self):
+        never = FaultPlan(FaultSpec(drop_rate=0.0))
+        always = FaultPlan(FaultSpec(drop_rate=1.0))
+        assert not never.drops(1, 2, 1, 0)
+        assert always.drops(1, 2, 1, 0)
+
+    def test_seed_changes_decisions(self):
+        queries = [(1, 2, r, 0) for r in range(200)]
+        one = [FaultPlan(FaultSpec(drop_rate=0.5, seed=1)).drops(*q)
+               for q in queries]
+        two = [FaultPlan(FaultSpec(drop_rate=0.5, seed=2)).drops(*q)
+               for q in queries]
+        assert one != two
+
+    def test_link_outage_is_undirected_and_half_open(self):
+        plan = FaultPlan(FaultSpec(links=(LinkOutage(2, 1, 3, 5),)))
+        assert not plan.link_down(1, 2, 2)
+        assert plan.link_down(1, 2, 3)
+        assert plan.link_down(2, 1, 4)
+        assert not plan.link_down(1, 2, 5)
+        assert not plan.link_down(1, 3, 4)
+
+
+class TestNetworkUnderFaults:
+    def test_fault_free_run_has_no_report(self):
+        result = run_algorithm(generators.path_graph(6), BfsNode)
+        assert result.fault_report is None
+        assert result.results == bfs_depths(generators.path_graph(6))
+
+    def test_noop_faults_change_nothing_but_attach_a_report(self):
+        graph = generators.path_graph(6)
+        plain = run_algorithm(graph, BfsNode)
+        faulty = run_algorithm(graph, BfsNode, faults=FaultSpec())
+        assert faulty.results == plain.results
+        assert faulty.metrics.rounds == plain.metrics.rounds
+        assert isinstance(faulty.fault_report, FaultReport)
+        assert faulty.fault_report.completed
+
+    def test_same_spec_same_seed_byte_identical(self):
+        graph = generators.torus_graph(3, 4)
+        spec = FaultSpec(drop_rate=0.3, seed=11)
+        runs = [
+            run_algorithm(graph, BfsNode, faults=spec) for _ in range(2)
+        ]
+        dumps = [
+            json.dumps(
+                {
+                    "results": {str(k): v for k, v in r.results.items()},
+                    "metrics": r.metrics.to_dict(),
+                    "report": r.fault_report.to_dict(),
+                },
+                sort_keys=True,
+            )
+            for r in runs
+        ]
+        assert dumps[0] == dumps[1]
+
+    def test_link_outage_suppresses_and_counts(self):
+        # Path 1-2-3-...; cutting {1,2} for the whole run stops the
+        # wave at node 1, so depths beyond stay None.
+        graph = generators.path_graph(4)
+        spec = FaultSpec(links=(LinkOutage(1, 2, 0, 10 ** 6),))
+        result = run_algorithm(graph, BfsNode, faults=spec)
+        assert result.results[1] == 0
+        assert result.results[2] is None
+        assert result.results[3] is None
+        assert result.fault_report.messages_suppressed > 0
+        assert result.metrics.messages_suppressed == \
+            result.fault_report.messages_suppressed
+        assert result.metrics.fault_counters_active
+
+    def test_crash_stop_yields_partial_results_not_a_hang(self):
+        # Crashing the middle of a path makes the far side unreachable;
+        # BfsNode still halts (fixed-length loop), but a *waiting*
+        # algorithm would stall — covered by the max_rounds guard test
+        # below.  Here: the crashed node has no result entry.
+        graph = generators.path_graph(5)
+        spec = FaultSpec(crashes=((3, 2),))
+        result = run_algorithm(graph, BfsNode, faults=spec)
+        assert 3 not in result.results
+        assert result.fault_report.crashed == {3: 2}
+        assert result.metrics.nodes_crashed == 1
+        # nodes past the crash never learned their depth
+        assert result.results[4] is None
+        assert result.results[5] is None
+
+    def test_round_limit_degrades_gracefully_under_faults(self):
+        class WaitForever(NodeAlgorithm):
+            """Waits for a message that a crashed neighbor never sends."""
+
+            def program(self):
+                while True:
+                    inbox = yield
+                    if list(inbox.items()):
+                        return "woke"
+
+        graph = generators.path_graph(3)
+        spec = FaultSpec(crashes=((1, 0),))
+        result = run_algorithm(
+            graph, WaitForever, faults=spec, max_rounds=30
+        )
+        assert result.fault_report.round_limit == 30
+        assert result.fault_report.stalled == (2, 3)
+        assert not result.fault_report.completed
+        assert result.metrics.nodes_stalled == 2
+        assert result.results == {}
+
+    def test_round_limit_still_raises_without_faults(self):
+        from repro.congest import RoundLimitExceededError
+
+        class WaitForever(NodeAlgorithm):
+            """Deadlocks: waits for a message nobody sends."""
+
+            def program(self):
+                while True:
+                    yield
+
+        with pytest.raises(RoundLimitExceededError):
+            run_algorithm(
+                generators.path_graph(2), WaitForever, max_rounds=10
+            )
+
+
+class TestResilient:
+    def test_wrapper_is_transparent_without_faults(self):
+        graph = generators.torus_graph(4, 4)
+        plain = run_algorithm(graph, BfsNode)
+        wrapped = run_algorithm(graph, resilient(BfsNode, replicas=3))
+        assert wrapped.results == plain.results
+        # Exactly a factor-replicas slowdown (plus the flush frame).
+        assert wrapped.metrics.rounds <= 3 * (plain.metrics.rounds + 1)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bfs_stays_exact_under_message_loss(self, seed):
+        graph = generators.torus_graph(4, 4)
+        expected = bfs_depths(graph)
+        plain_rounds = run_algorithm(graph, BfsNode).metrics.rounds
+        spec = FaultSpec(drop_rate=0.15, seed=seed)
+        result = run_algorithm(
+            graph, resilient(BfsNode, replicas=4), faults=spec
+        )
+        assert result.fault_report.completed
+        assert result.results == expected
+        assert result.fault_report.messages_dropped > 0
+        # Bounded overhead: replicas frames per logical round.
+        assert result.metrics.rounds <= 4 * (plain_rounds + 1)
+
+    def test_plain_bfs_breaks_where_resilient_does_not(self):
+        # Sanity that the fault rate is actually hostile: without the
+        # wrapper at least one seed must corrupt the depths.
+        graph = generators.torus_graph(4, 4)
+        expected = bfs_depths(graph)
+        broken = sum(
+            run_algorithm(
+                graph, BfsNode, faults=FaultSpec(drop_rate=0.15, seed=s)
+            ).results != expected
+            for s in range(8)
+        )
+        assert broken > 0
+
+    def test_replicas_validated(self):
+        graph = generators.path_graph(2)
+        with pytest.raises(ValueError, match="replicas"):
+            run_algorithm(graph, resilient(BfsNode, replicas=0))

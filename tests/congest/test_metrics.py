@@ -83,3 +83,44 @@ def test_from_dict_tolerates_missing_fields():
     assert metrics.rounds == 3
     assert metrics.messages_total == 0
     assert metrics.edge_bits is None
+
+
+def test_fault_counters_round_trip():
+    metrics = RunMetrics()
+    metrics.record_round([((1, 2), 2, 30)])
+    metrics.record_dropped(3, 21)
+    metrics.record_suppressed(2, 14)
+    metrics.nodes_crashed = 1
+    metrics.nodes_stalled = 4
+    data = metrics.to_dict()
+    assert data["messages_dropped"] == 3
+    assert data["bits_dropped"] == 21
+    assert data["messages_suppressed"] == 2
+    assert data["bits_suppressed"] == 14
+    assert data["nodes_crashed"] == 1
+    assert data["nodes_stalled"] == 4
+    rebuilt = RunMetrics.from_dict(data)
+    assert rebuilt == metrics
+    assert rebuilt.to_dict() == data
+
+
+def test_fault_counters_omitted_when_zero():
+    # Fault-free runs must keep their historical record shape so
+    # existing cached records stay byte-identical.
+    metrics = RunMetrics()
+    metrics.record_round([((1, 2), 2, 30)])
+    data = metrics.to_dict()
+    assert "messages_dropped" not in data
+    assert "nodes_crashed" not in data
+    assert not metrics.fault_counters_active
+
+
+def test_old_records_without_fault_counters_still_load():
+    # A record written before fault injection existed: no drop/crash
+    # keys at all.  It must load with default-zero counters.
+    metrics = RunMetrics.from_dict(
+        {"rounds": 2, "messages_total": 3, "bits_total": 90}
+    )
+    assert metrics.messages_dropped == 0
+    assert metrics.nodes_crashed == 0
+    assert not metrics.fault_counters_active

@@ -116,5 +116,5 @@ def test_policy_axis_reaches_the_network():
 def test_available_algorithms_inventory():
     assert available_algorithms() == sorted([
         "apsp", "ssp", "properties", "approx", "girth", "girth-approx",
-        "two-vs-four", "baseline", "leader",
+        "two-vs-four", "baseline", "leader", "chaos",
     ])

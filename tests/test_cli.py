@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main, parse_graph
@@ -158,12 +160,60 @@ class TestCampaignCommand:
             main(["campaign", str(tmp_path / "absent.json")])
 
     def test_failures_set_exit_status(self, tmp_path):
-        with pytest.raises(SystemExit):
+        assert main([
+            "campaign", "--graphs", "path:8",
+            "--algorithms", "no-such-algorithm", "--quiet",
+            "--out", str(tmp_path / "out.jsonl"),
+        ]) == 1
+
+    def test_failed_tasks_record_tracebacks(self, tmp_path):
+        out = tmp_path / "out.jsonl"
+        assert main([
+            "campaign", "--graphs", "path:8",
+            "--algorithms", "chaos", "--quiet",
+            "--out", str(out),
+        ]) == 1
+        record = json.loads(out.read_text().strip())
+        assert record["error"]["type"] == "TaskError"
+        assert "Traceback" in record["error"]["traceback"]
+
+    def test_faults_flag_reaches_every_task(self, tmp_path):
+        out = tmp_path / "out.jsonl"
+        assert main([
+            "campaign", "--graphs", "cycle:12",
+            "--algorithms", "apsp", "--quiet",
+            "--faults", '{"drop_rate": 0.02, "seed": 7}',
+            "--out", str(out),
+        ]) == 0
+        record = json.loads(out.read_text().strip())
+        assert record["task"]["params"]["faults"] == {
+            "drop_rate": 0.02, "seed": 7,
+        }
+
+    def test_bad_faults_json_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="faults"):
             main([
-                "campaign", "--graphs", "path:8",
-                "--algorithms", "no-such-algorithm", "--quiet",
+                "campaign", "--graphs", "path:8", "--quiet",
+                "--faults", "{not json",
                 "--out", str(tmp_path / "out.jsonl"),
             ])
+
+    def test_timeout_flag_kills_a_hanging_task(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "hang",
+            "graphs": ["path:4"],
+            "algorithms": ["chaos"],
+            "params": {"mode": "hang", "seconds": 60},
+        }))
+        out = tmp_path / "out.jsonl"
+        assert main([
+            "campaign", str(spec), "--quiet",
+            "--timeout", "1.0",
+            "--out", str(out),
+        ]) == 1
+        record = json.loads(out.read_text().strip())
+        assert record["error"]["type"] == "Timeout"
 
 
 class TestExperimentJobsFlag:
