@@ -1,0 +1,142 @@
+"""Report comparison: the >15% regression gate.
+
+Matches two ``repro-bench/1`` reports workload by workload on the
+*median* wall time and flags every workload whose median grew by more
+than ``threshold`` (default 15%).  Simulation counters (rounds,
+messages, bits) are compared too: a cost-counter change is reported as
+a divergence, because the engine's observable behaviour is supposed to
+be frozen — if the counters moved, the wall-clock comparison is
+measuring a different computation.
+
+Comparisons only make sense between reports of the same mode (full vs
+quick) — the graph sizes differ — so mismatched modes are rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Median growth beyond which a workload counts as regressed.
+DEFAULT_THRESHOLD = 0.15
+
+
+@dataclass(frozen=True)
+class WorkloadDelta:
+    """One workload's baseline-vs-current comparison."""
+
+    name: str
+    baseline_median_s: float
+    current_median_s: float
+    #: ``current / baseline`` — above ``1 + threshold`` is a regression.
+    ratio: float
+    #: ``baseline / current`` — the human-friendly speedup factor.
+    speedup: float
+    regressed: bool
+    #: Counter divergences, e.g. ``rounds: 79 -> 81`` (empty = clean).
+    divergences: Tuple[str, ...] = ()
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing a current report against a baseline."""
+
+    deltas: List[WorkloadDelta] = field(default_factory=list)
+    #: Workloads present in only one of the two reports.
+    only_in_baseline: Tuple[str, ...] = ()
+    only_in_current: Tuple[str, ...] = ()
+    threshold: float = DEFAULT_THRESHOLD
+
+    @property
+    def regressions(self) -> List[WorkloadDelta]:
+        """Deltas that exceed the regression threshold."""
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def divergent(self) -> List[WorkloadDelta]:
+        """Deltas whose simulation counters changed."""
+        return [d for d in self.deltas if d.divergences]
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no regression and no counter divergence."""
+        return not self.regressions and not self.divergent
+
+    def render(self) -> str:
+        """Human-readable table plus verdict lines."""
+        lines = [
+            f"{'workload':<22} {'baseline':>10} {'current':>10} "
+            f"{'speedup':>8}  verdict",
+        ]
+        for delta in self.deltas:
+            if delta.regressed:
+                verdict = f"REGRESSED (+{(delta.ratio - 1) * 100:.0f}%)"
+            elif delta.divergences:
+                verdict = "DIVERGED: " + "; ".join(delta.divergences)
+            else:
+                verdict = "ok"
+            lines.append(
+                f"{delta.name:<22} {delta.baseline_median_s:>9.3f}s "
+                f"{delta.current_median_s:>9.3f}s "
+                f"{delta.speedup:>7.2f}x  {verdict}"
+            )
+        for name in self.only_in_baseline:
+            lines.append(f"{name:<22} (missing from current report)")
+        for name in self.only_in_current:
+            lines.append(f"{name:<22} (new; no baseline)")
+        if self.ok:
+            lines.append(
+                f"gate: OK (no workload regressed by more than "
+                f"{self.threshold * 100:.0f}%)"
+            )
+        else:
+            problems = [d.name for d in self.regressions]
+            problems += [d.name for d in self.divergent
+                         if d.name not in problems]
+            lines.append(f"gate: FAIL ({', '.join(problems)})")
+        return "\n".join(lines)
+
+
+_COUNTERS = ("rounds", "messages", "bits")
+
+
+def compare_reports(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Comparison:
+    """Compare two reports; see the module docstring for semantics."""
+    if baseline.get("mode") != current.get("mode"):
+        raise ValueError(
+            f"cannot compare a {current.get('mode')!r} run against a "
+            f"{baseline.get('mode')!r} baseline; rerun with matching scale"
+        )
+    base_entries: Dict[str, Dict] = baseline.get("workloads", {})
+    cur_entries: Dict[str, Dict] = current.get("workloads", {})
+    comparison = Comparison(
+        only_in_baseline=tuple(sorted(set(base_entries) - set(cur_entries))),
+        only_in_current=tuple(sorted(set(cur_entries) - set(base_entries))),
+        threshold=threshold,
+    )
+    for name in sorted(set(base_entries) & set(cur_entries)):
+        base, cur = base_entries[name], cur_entries[name]
+        base_median = float(base["wall_s"]["median"])
+        cur_median = float(cur["wall_s"]["median"])
+        ratio = cur_median / base_median if base_median > 0 else float("inf")
+        divergences = tuple(
+            f"{counter}: {base[counter]} -> {cur[counter]}"
+            for counter in _COUNTERS
+            if base.get(counter) != cur.get(counter)
+        )
+        comparison.deltas.append(WorkloadDelta(
+            name=name,
+            baseline_median_s=base_median,
+            current_median_s=cur_median,
+            ratio=ratio,
+            speedup=base_median / cur_median if cur_median > 0
+            else float("inf"),
+            regressed=ratio > 1.0 + threshold,
+            divergences=divergences,
+        ))
+    return comparison

@@ -1,0 +1,110 @@
+"""Pinned microbenchmark workloads.
+
+Each :class:`Workload` names one core entry point on a fixed graph spec
+and seed, so every benchmark invocation — today, on CI, or three PRs
+from now — measures exactly the same simulation.  Two scales exist:
+
+* **full** — the regression-tracked sizes (``bench_apsp`` is ``n = 128``,
+  the workload the perf acceptance gate is defined on);
+* **quick** — small instances for CI smoke runs and local sanity checks
+  (``repro bench --quick``).
+
+Determinism is part of the contract: a workload's rounds/messages/bits
+must be identical on every repeat, and the runner asserts that.  Only
+wall time and RSS may vary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .. import core
+from ..graphs.specs import parse_graph
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One pinned benchmark: an algorithm on a fixed graph spec and seed."""
+
+    name: str
+    algorithm: str
+    #: Graph spec at full (regression-tracked) scale.
+    graph: str
+    #: Graph spec at quick (smoke) scale.
+    quick_graph: str
+    seed: int = 0
+    #: Source ids for S-SP; ignored by the other algorithms.
+    sources: Tuple[int, ...] = ()
+    #: Approximation parameter for approximate girth; ``None`` = exact.
+    epsilon: float = None
+
+    def graph_spec(self, quick: bool) -> str:
+        """The spec measured at the requested scale."""
+        return self.quick_graph if quick else self.graph
+
+    def run(self, quick: bool):
+        """Execute once; returns the run's :class:`RunMetrics`."""
+        graph = parse_graph(self.graph_spec(quick))
+        if self.algorithm == "apsp":
+            return core.run_apsp(graph, seed=self.seed).metrics
+        if self.algorithm == "ssp":
+            sources = [s for s in self.sources if graph.has_node(s)]
+            return core.run_ssp(graph, sources, seed=self.seed).metrics
+        if self.algorithm == "two-vs-four":
+            return core.run_two_vs_four(graph, seed=self.seed).metrics
+        if self.algorithm == "girth":
+            if self.epsilon is None:
+                return core.run_exact_girth(graph, seed=self.seed).metrics
+            return core.run_approx_girth(
+                graph, self.epsilon, seed=self.seed
+            ).metrics
+        raise ValueError(f"unknown benchmark algorithm {self.algorithm!r}")
+
+
+#: The pinned suite, in execution order.  ``bench_apsp`` (n = 128) is the
+#: workload the ISSUE's speedup gate is measured on; the others cover the
+#: remaining core entry points.
+WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload(
+            name="bench_apsp",
+            algorithm="apsp",
+            graph="er:128:p=0.06:seed=1",
+            quick_graph="er:32:p=0.15:seed=1",
+        ),
+        Workload(
+            name="bench_ssp",
+            algorithm="ssp",
+            graph="er:96:p=0.07:seed=2",
+            quick_graph="er:32:p=0.15:seed=2",
+            sources=(1, 17, 33, 49),
+        ),
+        Workload(
+            name="bench_two_vs_four",
+            algorithm="two-vs-four",
+            graph="diameter2:96:seed=1",
+            quick_graph="diameter2:32:seed=1",
+        ),
+        Workload(
+            name="bench_girth",
+            algorithm="girth",
+            graph="torus:8x12",
+            quick_graph="torus:4x6",
+        ),
+    )
+}
+
+
+def select(names=None) -> Tuple[Workload, ...]:
+    """Resolve a workload subset (``None`` = the full suite, in order)."""
+    if names is None:
+        return tuple(WORKLOADS.values())
+    unknown = [name for name in names if name not in WORKLOADS]
+    if unknown:
+        raise ValueError(
+            f"unknown workload(s) {unknown}; expected a subset of "
+            f"{sorted(WORKLOADS)}"
+        )
+    return tuple(WORKLOADS[name] for name in names)

@@ -273,6 +273,51 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: regression-tracked microbenchmarks.
+
+    Runs the pinned workload suite (see :mod:`repro.bench.workloads`),
+    writes a machine-readable ``BENCH_<date>.json`` report, and — with
+    ``--compare BASELINE.json`` — gates on >15% median regressions
+    (``--warn-only`` downgrades the gate to a warning, which is how the
+    CI smoke job runs it).  Schema and workflow: ``docs/benchmarks.md``.
+    """
+    from . import bench
+
+    names = _csv(args.workloads) or None
+    try:
+        report = bench.run_suite(
+            quick=args.quick,
+            repeats=args.repeats,
+            names=names,
+            progress=print,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    out = args.out or bench.default_output_path()
+    bench.write_report(report, out)
+    print(f"report -> {out}")
+    if not args.compare:
+        return 0
+    try:
+        baseline = bench.load_report(args.compare)
+        comparison = bench.compare_reports(
+            baseline, report, threshold=args.threshold
+        )
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"--compare: {exc}")
+    print(f"baseline: {args.compare} "
+          f"(generated {baseline.get('generated', '?')})")
+    print(comparison.render())
+    if not comparison.ok:
+        if args.warn_only:
+            print("warning: regression gate failed (ignored: --warn-only)",
+                  file=sys.stderr)
+            return 0
+        return 1
+    return 0
+
+
 def cmd_leader(args: argparse.Namespace) -> None:
     """``repro leader``: min-id election."""
     graph = parse_graph(args.graph)
@@ -418,6 +463,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-injection spec applied to every task, "
                         "e.g. '{\"drop_rate\": 0.02, \"seed\": 7}'")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "bench",
+        help="regression-tracked microbenchmarks over the core entry "
+             "points (see docs/benchmarks.md)",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small smoke-scale instances (CI)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timed repeats per workload "
+                        "(default 5 full / 3 quick)")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated subset of the pinned suite")
+    p.add_argument("--out", default=None,
+                   help="report path (default BENCH_<date>.json)")
+    p.add_argument("--compare", default=None, metavar="BASELINE.json",
+                   help="gate this run against a baseline report")
+    p.add_argument("--threshold", type=float, default=0.15,
+                   help="median-regression gate (default 0.15 = 15%%)")
+    p.add_argument("--warn-only", action="store_true",
+                   help="report regressions but exit 0")
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

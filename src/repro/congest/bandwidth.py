@@ -65,7 +65,12 @@ class BandwidthPolicy:
 
 
 class StrictPolicy(BandwidthPolicy):
-    """Raise if an algorithm exceeds the per-edge budget (default)."""
+    """Raise if an algorithm exceeds the per-edge budget (default).
+
+    Note the fault-free scheduler inlines this check on its fast path
+    (see ``Network.step``); this class remains the policing strategy
+    whenever faults or a non-default policy are configured.
+    """
 
     def admit(
         self,
@@ -73,7 +78,8 @@ class StrictPolicy(BandwidthPolicy):
         staged: List[Message],
         round_no: int,
     ) -> List[Message]:
-        used = sum(message.size_bits(self.model) for message in staged)
+        size_bits = self.model.size_bits
+        used = sum(size_bits(message) for message in staged)
         if used > self.budget_bits:
             sender, receiver = edge
             raise BandwidthExceededError(
@@ -130,7 +136,7 @@ class SerializingPolicy(BandwidthPolicy):
             self._debt[edge] = 0
             delivered.append(queue.popleft())
         while queue:
-            size = queue[0].size_bits(self.model)
+            size = self.model.size_bits(queue[0])
             if size <= capacity:
                 capacity -= size
                 delivered.append(queue.popleft())

@@ -193,6 +193,13 @@ class FaultPlan:
             pair = (min(outage.u, outage.v), max(outage.u, outage.v))
             self._outages.setdefault(pair, []).append(outage)
         self._drop_key = f"{spec.seed}|drop".encode("ascii")
+        #: Capability flags: which fault kinds this plan can ever fire.
+        #: The scheduler consults them to skip whole filtering phases
+        #: (e.g. the per-message drop loop when ``drop_rate == 0``)
+        #: without changing any decision the plan would make.
+        self.has_drops: bool = spec.drop_rate > 0.0
+        self.has_outages: bool = bool(self._outages)
+        self.has_crashes: bool = bool(self._crash_rounds)
 
     def crash_round(self, uid: int) -> Optional[int]:
         """The round at which ``uid`` crash-stops, or ``None``."""
@@ -205,6 +212,8 @@ class FaultPlan:
 
     def link_down(self, sender: int, receiver: int, round_no: int) -> bool:
         """Whether the (undirected) link is down in ``round_no``."""
+        if not self.has_outages:
+            return False
         pair = (min(sender, receiver), max(sender, receiver))
         outages = self._outages.get(pair)
         if not outages:

@@ -55,6 +55,20 @@ class Inbox:
     def __init__(self, by_sender: Mapping[int, Tuple[Message, ...]] = ()) -> None:
         self._by_sender: Dict[int, Tuple[Message, ...]] = dict(by_sender or {})
 
+    @classmethod
+    def _adopt(cls, by_sender: Dict[int, Tuple[Message, ...]]) -> "Inbox":
+        """Wrap ``by_sender`` without copying (scheduler fast path).
+
+        The caller must hand over ownership of the dict: inboxes are
+        immutable from the node's side, so the scheduler builds one dict
+        per receiver per round and adopts it directly instead of paying
+        a defensive copy.  Idle nodes share :data:`Inbox.EMPTY` instead
+        of allocating a fresh empty inbox every round.
+        """
+        box = cls.__new__(cls)
+        box._by_sender = by_sender
+        return box
+
     def from_neighbor(self, sender: int) -> Tuple[Message, ...]:
         """All messages received from ``sender`` this round."""
         return self._by_sender.get(sender, ())

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, fields as dataclass_fields
-from typing import ClassVar, Dict, List, Tuple, Type
+from typing import ClassVar, Dict, List, Optional, Tuple, Type
 
 from .errors import EncodingError
 
@@ -49,9 +49,22 @@ _FIELD_KINDS = ("id", "dist", "count", "round", "flag")
 MESSAGE_REGISTRY: List[Type["Message"]] = []
 _REGISTRY_INDEX: Dict[Type["Message"], int] = {}
 
+#: Memoized :func:`tag_bits` — the tag width depends only on the registry
+#: size, yet used to be re-derived with ``math.log2`` on *every* size
+#: query.  Invalidated by :func:`register_message`.
+_TAG_BITS: Optional[int] = None
+
+#: Memoized per-class wire sizes keyed ``(n, cls)``: a message's size
+#: depends only on its type (via ``FIELDS``), the network size ``n`` and
+#: the registry state — never on the instance.  Shared across
+#: :class:`SizeModel` instances (the model is a frozen value object) and
+#: invalidated whenever a registration changes the tag width.
+_CLASS_SIZE_CACHE: Dict[Tuple[int, Type["Message"]], int] = {}
+
 
 def register_message(cls: Type["Message"]) -> Type["Message"]:
     """Class decorator: validate field specs and assign a wire tag."""
+    global _TAG_BITS
     for name, kind in cls.FIELDS:
         if kind not in _FIELD_KINDS:
             raise EncodingError(
@@ -66,6 +79,10 @@ def register_message(cls: Type["Message"]) -> Type["Message"]:
         )
     _REGISTRY_INDEX[cls] = len(MESSAGE_REGISTRY)
     MESSAGE_REGISTRY.append(cls)
+    # A new registration may widen the wire tag, which is baked into
+    # every cached size; drop both memos.
+    _TAG_BITS = None
+    _CLASS_SIZE_CACHE.clear()
     return cls
 
 
@@ -78,42 +95,91 @@ def message_tag(cls: Type["Message"]) -> int:
 
 
 def tag_bits() -> int:
-    """Bits needed to distinguish all registered message types."""
-    return max(1, math.ceil(math.log2(max(2, len(MESSAGE_REGISTRY)))))
+    """Bits needed to distinguish all registered message types.
+
+    Computed once per registry state; :func:`register_message`
+    invalidates the memo.
+    """
+    global _TAG_BITS
+    if _TAG_BITS is None:
+        _TAG_BITS = max(
+            1, math.ceil(math.log2(max(2, len(MESSAGE_REGISTRY))))
+        )
+    return _TAG_BITS
 
 
 @dataclass(frozen=True)
 class SizeModel:
-    """Resolves field kinds to bit widths for a network of ``n`` nodes."""
+    """Resolves field kinds to bit widths for a network of ``n`` nodes.
+
+    All widths are fixed by ``n`` alone, so they are derived once at
+    construction (the ``ceil(log2(...))`` arithmetic used to run on
+    every query) and per-class totals are memoized in
+    ``_CLASS_SIZE_CACHE`` — the hot path of the simulator's bandwidth
+    accounting is a single dict lookup per message.
+    """
 
     n: int
+
+    def __post_init__(self) -> None:
+        id_bits = max(1, math.ceil(math.log2(self.n + 1)))
+        dist_bits = max(1, math.ceil(math.log2(self.n + 2)))
+        # Frozen dataclass: precomputed widths go in via object.__setattr__.
+        object.__setattr__(self, "_id_bits", id_bits)
+        object.__setattr__(self, "_dist_bits", dist_bits)
+        object.__setattr__(self, "_widths", {
+            "id": id_bits,
+            "dist": dist_bits,
+            "count": dist_bits,
+            "round": dist_bits + 4,
+            "flag": 1,
+        })
 
     @property
     def id_bits(self) -> int:
         """Width of a node identifier in ``1..n``."""
-        return max(1, math.ceil(math.log2(self.n + 1)))
+        return self._id_bits
 
     @property
     def dist_bits(self) -> int:
         """Width of a distance in ``0..n`` plus an infinity code point."""
-        return max(1, math.ceil(math.log2(self.n + 2)))
+        return self._dist_bits
 
     def width_of(self, kind: str) -> int:
         """Bit width of one field of the given kind."""
-        if kind == "id":
-            return self.id_bits
-        if kind == "dist" or kind == "count":
-            return self.dist_bits
-        if kind == "round":
-            return self.dist_bits + 4
-        if kind == "flag":
-            return 1
-        raise EncodingError(f"unknown field kind {kind!r}")
+        try:
+            return self._widths[kind]
+        except KeyError:
+            raise EncodingError(f"unknown field kind {kind!r}")
+
+    def class_size_bits(self, cls: Type["Message"]) -> int:
+        """Wire size of any instance of ``cls``: tag plus payload fields.
+
+        Size is a pure function of ``(n, cls)`` and the registry state,
+        memoized module-wide; :func:`register_message` invalidates.
+        """
+        key = (self.n, cls)
+        size = _CLASS_SIZE_CACHE.get(key)
+        if size is None:
+            widths = self._widths
+            payload = 0
+            for _, kind in cls.FIELDS:
+                try:
+                    payload += widths[kind]
+                except KeyError:
+                    raise EncodingError(f"unknown field kind {kind!r}")
+            size = tag_bits() + payload
+            _CLASS_SIZE_CACHE[key] = size
+        return size
 
     def size_bits(self, message: "Message") -> int:
         """Total wire size of ``message``: tag plus all payload fields."""
-        payload = sum(self.width_of(kind) for _, kind in message.FIELDS)
-        return tag_bits() + payload
+        # Inlined cache hit: this is the single hottest call in the
+        # simulator (once per message per round).
+        size = _CLASS_SIZE_CACHE.get((self.n, type(message)))
+        if size is not None:
+            return size
+        return self.class_size_bits(type(message))
 
 
 @dataclass(frozen=True)

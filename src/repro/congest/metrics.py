@@ -50,15 +50,46 @@ class RunMetrics:
         """Record one round; ``deliveries`` yields ``(edge, msgs, bits)``."""
         round_messages = 0
         round_bits = 0
+        max_bits = 0
+        max_messages = 0
+        edge_entries = None if self.edge_bits is None else []
         for edge, msg_count, bit_count in deliveries:
             round_messages += msg_count
             round_bits += bit_count
-            if bit_count > self.max_edge_bits_in_round:
-                self.max_edge_bits_in_round = bit_count
-            if msg_count > self.max_edge_messages_in_round:
-                self.max_edge_messages_in_round = msg_count
-            if self.edge_bits is not None:
-                self.edge_bits[edge] = self.edge_bits.get(edge, 0) + bit_count
+            if bit_count > max_bits:
+                max_bits = bit_count
+            if msg_count > max_messages:
+                max_messages = msg_count
+            if edge_entries is not None:
+                edge_entries.append((edge, bit_count))
+        self.record_round_totals(
+            round_messages, round_bits, max_bits, max_messages, edge_entries
+        )
+
+    def record_round_totals(
+        self,
+        round_messages: int,
+        round_bits: int,
+        max_edge_bits: int,
+        max_edge_messages: int,
+        edge_entries: Optional[Iterable[Tuple[DirectedEdge, int]]] = None,
+    ) -> None:
+        """Batched round accounting (the scheduler's single-pass path).
+
+        The scheduler already walks every delivered edge once to police
+        bandwidth, so it accumulates these aggregates in that same pass
+        and commits them here in O(1) instead of handing over per-edge
+        tuples to re-reduce.  ``edge_entries`` carries ``(edge, bits)``
+        pairs and is only consulted when edge tracking is on.
+        """
+        if max_edge_bits > self.max_edge_bits_in_round:
+            self.max_edge_bits_in_round = max_edge_bits
+        if max_edge_messages > self.max_edge_messages_in_round:
+            self.max_edge_messages_in_round = max_edge_messages
+        if self.edge_bits is not None and edge_entries is not None:
+            edge_bits = self.edge_bits
+            for edge, bit_count in edge_entries:
+                edge_bits[edge] = edge_bits.get(edge, 0) + bit_count
         self.rounds += 1
         self.messages_total += round_messages
         self.bits_total += round_bits

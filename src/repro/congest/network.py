@@ -25,13 +25,18 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..graphs.graph import Graph
-from .bandwidth import BandwidthPolicy, make_policy
-from .errors import GraphError, ProtocolError, RoundLimitExceededError
+from .bandwidth import BandwidthPolicy, StrictPolicy, make_policy
+from .errors import (
+    BandwidthExceededError,
+    GraphError,
+    ProtocolError,
+    RoundLimitExceededError,
+)
 from .faults import FaultPlan, FaultReport, FaultSpec, ensure_plan
-from .mailbox import Inbox
+from .mailbox import Inbox, Outbox
 from .message import Message, SizeModel
 from .metrics import RunMetrics
-from .node import NodeAlgorithm, NodeContext, NodeState
+from .node import NodeAlgorithm, NodeContext, NodeState, PublicRandomness
 
 #: Builds the per-node algorithm object from its context.
 AlgorithmFactory = Callable[[NodeContext], NodeAlgorithm]
@@ -143,8 +148,14 @@ class Network:
         self._stopped = False
         inputs = inputs or {}
 
+        #: Node ids in scheduling order (ascending), fixed once — the
+        #: round loop must never re-derive or re-sort this.
+        self._node_order: Tuple[int, ...] = graph.nodes
+        #: Public randomness is seeded once and cloned per node — see
+        #: :class:`~repro.congest.node.PublicRandomness` for semantics.
+        public = PublicRandomness(f"{seed}|public")
         self._states: Dict[int, NodeState] = {}
-        for uid in graph.nodes:
+        for uid in self._node_order:
             ctx = NodeContext(
                 uid=uid,
                 neighbors=graph.neighbors(uid),
@@ -152,21 +163,37 @@ class Network:
                 bandwidth_bits=self.bandwidth_bits,
                 size_model=self.size_model,
                 rng=random.Random(f"{seed}|node|{uid}"),
-                public_rng=random.Random(f"{seed}|public"),
+                public_rng=public.view(),
                 input_value=inputs.get(uid),
             )
             self._states[uid] = NodeState(algorithm=factory(ctx))
         self._started = False
         #: messages staged for the next round, keyed by directed edge.
+        #: Insertion order is deterministic (nodes resume in ascending id
+        #: order; each outbox lists receivers ascending).
         self._staged: Dict[Tuple[int, int], List[Message]] = {}
+        #: Node ids still running (not halted, not crashed), ascending;
+        #: maintained incrementally so idle rounds never scan dead nodes.
+        self._active: List[int] = list(self._node_order)
+        #: The fault-free strict fast path: bandwidth policing, metrics
+        #: accounting and delivery run in one inlined pass per round,
+        #: skipping the fault/backlog branches entirely.  Only the exact
+        #: StrictPolicy qualifies (it is stateless and never backlogs).
+        self._fast_path = (
+            self.fault_plan is None and type(self.policy) is StrictPolicy
+        )
+        #: Memoized per-class size lookup bound once for the hot loop.
+        self._sizeof = self.size_model.size_bits
 
     # -- lifecycle ------------------------------------------------------------
 
     def _start(self) -> None:
         """Round 0: run every program to its first yield."""
-        for uid in self.graph.nodes:
+        fault_plan = self.fault_plan
+        active: List[int] = []
+        for uid in self._node_order:
             state = self._states[uid]
-            if self._crash_if_due(uid, state, 0):
+            if fault_plan is not None and self._crash_if_due(uid, state, 0):
                 continue
             generator = state.algorithm.program()
             state.generator = generator
@@ -180,6 +207,9 @@ class Network:
                     f"(write it with at least one 'yield')"
                 )
             self._collect_outbox(uid, state)
+            if not state.halted:
+                active.append(uid)
+        self._active = active
         self._started = True
 
     def _halt(self, state: NodeState, result: Any) -> None:
@@ -189,9 +219,28 @@ class Network:
         state.algorithm._mark_halted()
 
     def _collect_outbox(self, uid: int, state: NodeState) -> None:
-        outbox = state.algorithm._take_outbox()
-        for receiver, messages in outbox.items():
-            self._staged.setdefault((uid, receiver), []).extend(messages)
+        """Move a node's staged messages into the per-edge staging map.
+
+        Adopts the outbox's internal lists directly (each node is
+        collected exactly once per round, so a ``(uid, receiver)`` key
+        cannot pre-exist; the defensive merge below keeps that
+        assumption honest).  Receiver order is the node's send order —
+        per-edge grouping makes cross-edge order irrelevant everywhere
+        it could be observed (policing sorts, inboxes sort senders).
+        """
+        algorithm = state.algorithm
+        by_receiver = algorithm._outbox._by_receiver
+        if not by_receiver:
+            return
+        algorithm._outbox = Outbox()
+        staged = self._staged
+        for receiver, messages in by_receiver.items():
+            key = (uid, receiver)
+            existing = staged.get(key)
+            if existing is None:
+                staged[key] = messages
+            else:
+                existing.extend(messages)
 
     def _crash_if_due(self, uid: int, state: NodeState, round_no: int) -> bool:
         """Apply a scheduled crash-stop; returns whether ``uid`` is down."""
@@ -219,24 +268,26 @@ class Network:
         delivered.
         """
         plan, report = self.fault_plan, self.fault_report
+        sizeof = self._sizeof
         filtered: Dict[Tuple[int, int], List[Message]] = {}
         for edge in sorted(deliveries):
             sender, receiver = edge
             messages = deliveries[edge]
-            bits = sum(msg.size_bits(self.size_model) for msg in messages)
             if (
                 plan.link_down(sender, receiver, self.round_no)
                 or plan.is_crashed(receiver, self.round_no)
             ):
+                bits = sum(sizeof(message) for message in messages)
                 self.metrics.record_suppressed(len(messages), bits)
                 report.messages_suppressed += len(messages)
+                continue
+            if not plan.has_drops:
+                filtered[edge] = messages
                 continue
             kept: List[Message] = []
             for index, message in enumerate(messages):
                 if plan.drops(sender, receiver, self.round_no, index):
-                    self.metrics.record_dropped(
-                        1, message.size_bits(self.size_model)
-                    )
+                    self.metrics.record_dropped(1, sizeof(message))
                     report.messages_dropped += 1
                 else:
                     kept.append(message)
@@ -251,39 +302,83 @@ class Network:
             return False
         if not self._started:
             return True
-        if any(
-            not state.halted and not state.crashed
-            for state in self._states.values()
-        ):
-            return True
-        return bool(self._staged) or self.policy.has_backlog
+        # ``_active`` is maintained incrementally (nodes leave on halt or
+        # crash), so this is O(1) instead of a scan over every node.
+        return (
+            bool(self._active)
+            or bool(self._staged)
+            or self.policy.has_backlog
+        )
 
-    def step(self) -> bool:
-        """Execute one communication round; returns :attr:`running`."""
-        if not self._started:
-            self._start()
-            return self.running
-        if not self.running:
-            return False
-        if self.round_no >= self.max_rounds:
-            unfinished = sorted(
-                uid for uid, state in self._states.items()
-                if not state.halted and not state.crashed
-            )
-            if self.fault_plan is not None:
-                # Graceful degradation: a fault-injected run never
-                # hangs and never hard-fails — it stops here with
-                # partial results and a report naming the stalled nodes.
-                self.fault_report.stalled = tuple(unfinished)
-                self.fault_report.round_limit = self.max_rounds
-                self.metrics.nodes_stalled = len(unfinished)
-                self._stopped = True
-                return False
-            raise RoundLimitExceededError(self.max_rounds, len(unfinished))
-        self.round_no += 1
+    def _raise_overflow(self, staged: Dict[Tuple[int, int], List[Message]]):
+        """Re-scan an overflowing round in sorted edge order and raise.
 
-        # Police staged traffic and build inboxes.
-        staged, self._staged = self._staged, {}
+        The fast path polices edges in (deterministic) staging order for
+        speed; on the failure path we pay a sorted re-scan so the error
+        names the same edge the policy-based slow path would have named.
+        """
+        sizeof = self._sizeof
+        for edge in sorted(staged):
+            used = sum(sizeof(message) for message in staged[edge])
+            if used > self.bandwidth_bits:
+                sender, receiver = edge
+                raise BandwidthExceededError(
+                    sender, receiver, self.round_no, used,
+                    self.bandwidth_bits,
+                )
+        raise AssertionError("overflow vanished on re-scan")  # pragma: no cover
+
+    def _deliver_fast(
+        self, staged: Dict[Tuple[int, int], List[Message]]
+    ) -> Dict[int, Dict[int, Tuple[Message, ...]]]:
+        """Fault-free strict delivery: police, account and route in one pass.
+
+        Equivalent to ``StrictPolicy.admit`` on every edge followed by
+        ``metrics.record_round`` — but wire sizes come from the per-class
+        cache, aggregates accumulate inline, and no intermediate
+        ``deliveries`` dict or per-edge tuple list is materialized.
+        Edge iteration is staging order, which is deterministic and
+        order-independent for every recorded quantity.
+        """
+        sizeof = self._sizeof
+        budget = self.bandwidth_bits
+        track = self.metrics.edge_bits is not None
+        edge_entries = [] if track else None
+        round_messages = 0
+        round_bits = 0
+        max_bits = 0
+        max_messages = 0
+        inbox_map: Dict[int, Dict[int, Tuple[Message, ...]]] = {}
+        for edge, messages in staged.items():
+            bits = 0
+            for message in messages:
+                bits += sizeof(message)
+            if bits > budget:
+                self._raise_overflow(staged)
+            count = len(messages)
+            round_messages += count
+            round_bits += bits
+            if bits > max_bits:
+                max_bits = bits
+            if count > max_messages:
+                max_messages = count
+            if track:
+                edge_entries.append((edge, bits))
+            sender, receiver = edge
+            box = inbox_map.get(receiver)
+            if box is None:
+                inbox_map[receiver] = {sender: tuple(messages)}
+            else:
+                box[sender] = tuple(messages)
+        self.metrics.record_round_totals(
+            round_messages, round_bits, max_bits, max_messages, edge_entries
+        )
+        return inbox_map
+
+    def _deliver_general(
+        self, staged: Dict[Tuple[int, int], List[Message]]
+    ) -> Dict[int, Dict[int, Tuple[Message, ...]]]:
+        """Policy-mediated delivery with backlog and fault handling."""
         deliveries: Dict[Tuple[int, int], List[Message]] = {}
         for edge in sorted(staged):
             admitted = self.policy.admit(edge, staged[edge], self.round_no)
@@ -301,11 +396,12 @@ class Network:
         if self.fault_plan is not None:
             deliveries = self._filter_faults(deliveries)
 
+        sizeof = self._sizeof
         self.metrics.record_round(
             (
                 edge,
                 len(messages),
-                sum(msg.size_bits(self.size_model) for msg in messages),
+                sum(sizeof(message) for message in messages),
             )
             for edge, messages in sorted(deliveries.items())
         )
@@ -313,21 +409,62 @@ class Network:
         inbox_map: Dict[int, Dict[int, Tuple[Message, ...]]] = {}
         for (sender, receiver), messages in deliveries.items():
             inbox_map.setdefault(receiver, {})[sender] = tuple(messages)
+        return inbox_map
 
-        # Resume every live node program with its inbox.
-        for uid in self.graph.nodes:
-            state = self._states[uid]
-            if state.halted or state.crashed:
+    def step(self) -> bool:
+        """Execute one communication round; returns :attr:`running`."""
+        if not self._started:
+            self._start()
+            return self.running
+        if not self.running:
+            return False
+        if self.round_no >= self.max_rounds:
+            unfinished = list(self._active)
+            if self.fault_plan is not None:
+                # Graceful degradation: a fault-injected run never
+                # hangs and never hard-fails — it stops here with
+                # partial results and a report naming the stalled nodes.
+                self.fault_report.stalled = tuple(unfinished)
+                self.fault_report.round_limit = self.max_rounds
+                self.metrics.nodes_stalled = len(unfinished)
+                self._stopped = True
+                return False
+            raise RoundLimitExceededError(self.max_rounds, len(unfinished))
+        self.round_no += 1
+
+        # Police staged traffic, account the round, and build inboxes.
+        staged, self._staged = self._staged, {}
+        if self._fast_path:
+            inbox_map = self._deliver_fast(staged)
+        else:
+            inbox_map = self._deliver_general(staged)
+
+        # Resume every live node program with its inbox.  ``_active``
+        # holds exactly the non-halted, non-crashed nodes in ascending
+        # id order; idle receivers share the empty-inbox singleton.
+        fault_plan = self.fault_plan
+        round_no = self.round_no
+        states = self._states
+        adopt = Inbox._adopt
+        next_active: List[int] = []
+        for uid in self._active:
+            state = states[uid]
+            if fault_plan is not None and self._crash_if_due(
+                uid, state, round_no
+            ):
                 continue
-            if self._crash_if_due(uid, state, self.round_no):
-                continue
-            inbox = Inbox(inbox_map.get(uid, {}))
-            state.algorithm.round = self.round_no
+            by_sender = inbox_map.get(uid)
+            inbox = Inbox.EMPTY if by_sender is None else adopt(by_sender)
+            state.algorithm.round = round_no
             try:
                 state.generator.send(inbox)
             except StopIteration as stop:
                 self._halt(state, stop.value)
+                self._collect_outbox(uid, state)
+                continue
             self._collect_outbox(uid, state)
+            next_active.append(uid)
+        self._active = next_active
         return self.running
 
     def run(self) -> RunResult:

@@ -35,6 +35,38 @@ from .message import Message, SizeModel
 NodeProgram = Generator[None, Inbox, Any]
 
 
+class PublicRandomness:
+    """One shared public-coin stream, handed out as per-node views.
+
+    Sharing semantics
+    -----------------
+    The paper's "(public) randomness" (Definition 1) is a *common random
+    string*: every node reads the same coin flips.  We model that by
+    giving every node a ``random.Random`` whose stream is identical —
+    node ``u``'s ``k``-th draw equals node ``v``'s ``k``-th draw — while
+    private randomness (``ctx.rng``) stays per-node.
+
+    The network used to realize this by string-seeding a fresh
+    ``random.Random(f"{seed}|public")`` *per node*, paying the SHA-512
+    seeding cost ``n`` times for ``n`` copies of the same stream.  This
+    class seeds the underlying Mersenne Twister exactly once and
+    :meth:`view` clones the resulting state into each node's instance,
+    which is observationally identical (same stream per node, streams
+    advance independently) but shares the expensive seeding.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed_key: str) -> None:
+        self._state = random.Random(seed_key).getstate()
+
+    def view(self) -> random.Random:
+        """A fresh ``random.Random`` positioned at the shared stream's start."""
+        rng = random.Random()
+        rng.setstate(self._state)
+        return rng
+
+
 @dataclass(frozen=True)
 class NodeContext:
     """Everything a node is allowed to know at wake-up.
@@ -46,9 +78,12 @@ class NodeContext:
 
     ``rng`` is the node's private randomness; ``public_rng`` is shared
     randomness — every node's ``public_rng`` yields the identical stream,
-    matching the paper's "(public) randomness" in Definition 1.
-    ``input_value`` carries per-node problem input (e.g. membership in the
-    set ``S`` for S-SP).
+    matching the paper's "(public) randomness" in Definition 1.  The
+    streams are views of one :class:`PublicRandomness` object (seeded
+    once per network, cloned per node — see its docstring for the
+    sharing semantics); each view advances independently, so one node's
+    draws never perturb another's.  ``input_value`` carries per-node
+    problem input (e.g. membership in the set ``S`` for S-SP).
     """
 
     uid: int

@@ -55,8 +55,16 @@ class TraceRecorder:
         recording path by wrapping ``Network.step``'s policy admission
         via the metrics hook — concretely, we wrap the bound
         ``policy.admit`` so every admitted batch is logged.
+
+        Attaching also switches the network off its fault-free strict
+        fast path (which inlines admission and never calls the policy):
+        deliveries are identical either way — that equivalence is pinned
+        by the golden tests — but only the policy-mediated path has a
+        seam to observe them from.  Tracing is a debugging instrument,
+        so the slowdown is deliberate and confined to traced runs.
         """
         recorder = cls()
+        network._fast_path = False
         policy = network.policy
         original_admit = policy.admit
         original_drain = policy.drain
