@@ -247,6 +247,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             raise SystemExit(f"--faults: not valid JSON ({exc})")
         except harness.SpecError as exc:
             raise SystemExit(str(exc))
+    if args.trace:
+        spec = spec.with_trace()
     out = args.out or f"{spec.name}.jsonl"
     summary = harness.run_campaign(
         spec,
@@ -315,6 +317,80 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 0
         return 1
+    return 0
+
+
+#: Algorithms ``repro trace run`` can capture.
+_TRACE_ALGORITHMS = ("apsp", "ssp", "properties", "girth", "approx",
+                     "two-vs-four", "leader")
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace run``: one traced run, exported three ways.
+
+    Captures the run with :func:`repro.obs.capture` and exports per
+    ``--export``: ``summary`` prints costs, invariant verdicts and the
+    round x edge heatmap (exit 1 if an invariant fails); ``jsonl``
+    writes the ``repro-trace/1`` stream; ``chrome`` writes Trace Event
+    Format JSON loadable in ``about://tracing`` / Perfetto.
+    """
+    from . import obs
+
+    graph = parse_graph(args.graph)
+    faults = None
+    if args.faults:
+        try:
+            faults = json.loads(args.faults)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"--faults: not valid JSON ({exc})")
+    kwargs = dict(seed=args.seed, policy=args.policy, faults=faults)
+    with obs.capture() as session:
+        if args.algorithm == "apsp":
+            core.run_apsp(graph, **kwargs)
+        elif args.algorithm == "ssp":
+            sources = _csv(args.sources, int) or [1]
+            core.run_ssp(graph, sources, **kwargs)
+        elif args.algorithm == "properties":
+            core.run_graph_properties(graph, **kwargs)
+        elif args.algorithm == "girth":
+            if args.epsilon is None:
+                core.run_exact_girth(graph, **kwargs)
+            else:
+                core.run_approx_girth(graph, args.epsilon, **kwargs)
+        elif args.algorithm == "approx":
+            core.run_approx_properties(
+                graph, args.epsilon if args.epsilon is not None else 0.5,
+                **kwargs,
+            )
+        elif args.algorithm == "two-vs-four":
+            core.run_two_vs_four(graph, **kwargs)
+        else:
+            core.run_leader_election(graph, **kwargs)
+    trace = session.build_trace(
+        0, label=f"{args.algorithm} {args.graph}"
+    )
+
+    if args.export == "summary":
+        text = obs.render_summary(trace)
+        print(text)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"summary -> {args.out}")
+        failed = [r for r in obs.check(trace) if not r.ok]
+        return 1 if failed else 0
+
+    if args.export == "chrome":
+        out = args.out or f"trace_{args.algorithm}.json"
+        obs.write_chrome(trace, out)
+        print(f"chrome trace -> {out} "
+              f"(load in about://tracing or ui.perfetto.dev)")
+    else:
+        out = args.out or f"trace_{args.algorithm}.jsonl"
+        obs.write_jsonl(trace, out)
+        print(f"repro-trace/1 stream -> {out}")
+    print(f"rounds: {trace.rounds}   messages: {len(trace.messages)}   "
+          f"events: {len(trace.events)}   spans: {len(trace.spans)}")
     return 0
 
 
@@ -462,7 +538,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", default=None, metavar="JSON",
                    help="fault-injection spec applied to every task, "
                         "e.g. '{\"drop_rate\": 0.02, \"seed\": 7}'")
+    p.add_argument("--trace", action="store_true",
+                   help="record a repro-trace/1 summary per task into "
+                        "the result store (see docs/observability.md)")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "trace",
+        help="capture a structured trace of one run (repro.obs)",
+        epilog="Traces follow the repro-trace/1 schema. See "
+               "docs/observability.md for the span/event API, the JSONL "
+               "schema, and the Chrome trace_event walkthrough; "
+               "docs/table1.md maps paper lemmas to trace invariants.",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    pr = trace_sub.add_parser(
+        "run",
+        help="run an algorithm under capture and export the trace",
+        epilog="Examples: "
+               "`repro trace run apsp er:32:p=0.15:seed=1 "
+               "--export summary`; "
+               "`repro trace run ssp torus:4x8 --sources 1,5,9 "
+               "--export chrome --out ssp.json`. "
+               "With --export summary the exit code is 1 if any paper "
+               "invariant (Lemma 1, Remark 3, Theorem 3) fails on the "
+               "trace.",
+    )
+    pr.add_argument("algorithm", choices=list(_TRACE_ALGORITHMS),
+                    help="entry point to trace")
+    pr.add_argument("graph", help="graph spec (same syntax as run commands)")
+    pr.add_argument("--export", choices=["summary", "jsonl", "chrome"],
+                    default="summary",
+                    help="output form (default: summary)")
+    pr.add_argument("--out", default=None,
+                    help="output path (default trace_<algo>.json[l]; "
+                         "summary prints to stdout)")
+    pr.add_argument("--sources", default=None,
+                    help="ssp only: comma-separated source ids (default 1)")
+    pr.add_argument("--epsilon", type=float, default=None,
+                    help="girth/approx: approximation parameter")
+    pr.add_argument("--policy", default="strict",
+                    help="bandwidth policy (default strict)")
+    pr.add_argument("--faults", default=None, metavar="JSON",
+                    help="fault-injection spec, e.g. "
+                         "'{\"drop_rate\": 0.02, \"seed\": 7}'")
+    common(pr)
+    pr.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "bench",

@@ -41,6 +41,27 @@ from .node import NodeAlgorithm, NodeContext, NodeState, PublicRandomness
 #: Builds the per-node algorithm object from its context.
 AlgorithmFactory = Callable[[NodeContext], NodeAlgorithm]
 
+#: Optional callable invoked with every newly constructed network — the
+#: seam the observability layer (:mod:`repro.obs`) uses to auto-attach
+#: its recorders to networks created deep inside ``repro.core`` entry
+#: points.  ``None`` (the default) costs one global read per *network
+#: construction*, never per round, so the disabled path stays free.
+_network_observer: Optional[Callable[["Network"], None]] = None
+
+
+def set_network_observer(
+    observer: Optional[Callable[["Network"], None]],
+) -> Optional[Callable[["Network"], None]]:
+    """Install (or clear, with ``None``) the network-construction hook.
+
+    Returns the previously installed observer so callers can restore
+    it — the contract :func:`repro.obs.capture` relies on for nesting.
+    """
+    global _network_observer
+    previous = _network_observer
+    _network_observer = observer
+    return previous
+
 
 def default_bandwidth(n: int) -> int:
     """The default per-edge budget ``B`` for an ``n``-node network.
@@ -184,6 +205,8 @@ class Network:
         )
         #: Memoized per-class size lookup bound once for the hot loop.
         self._sizeof = self.size_model.size_bits
+        if _network_observer is not None:
+            _network_observer(self)
 
     # -- lifecycle ------------------------------------------------------------
 

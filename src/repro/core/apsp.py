@@ -42,6 +42,7 @@ from ..congest.faults import FaultsLike
 from ..congest.network import Network
 from ..congest.node import NodeAlgorithm, NodeContext
 from ..graphs.graph import Graph
+from ..obs.tracer import active as obs_active
 from .messages import BfsToken, DownMsg, PebbleMsg
 from .results import ApspResult, ApspSummary
 from .subroutines import build_bfs_tree
@@ -84,10 +85,12 @@ def apsp_phase(node: NodeAlgorithm, tree, *, collect_girth: bool = False):
     pebble_here = tree.is_root
     start_bfs_pending = tree.is_root
     finish_round: Optional[int] = None
+    tracer = obs_active()
+    wave_span: Optional[int] = None
 
     while finish_round is None or node.round < finish_round:
         inbox = yield
-        _process_waves(node, inbox, outcome, collect_girth)
+        _process_waves(node, inbox, outcome, collect_girth, tracer)
 
         # ---- finish broadcast ----
         for _, msg in inbox.items():
@@ -115,16 +118,28 @@ def apsp_phase(node: NodeAlgorithm, tree, *, collect_girth: bool = False):
             outcome.distances[node.uid] = 0
             outcome.parents[node.uid] = None
             node.send_all(BfsToken(root=node.uid, dist=0))
+            if tracer is not None:
+                wave_span = tracer.span_begin(
+                    "bfs_wave", node=node.uid, round_no=node.round,
+                    src=node.uid,
+                )
             move_now = True
 
         if move_now:
             visited = True
             if next_child < len(children):
                 node.send(children[next_child], PebbleMsg())
+                if tracer is not None:
+                    tracer.event("pebble_move", node=node.uid,
+                                 round_no=node.round,
+                                 to=children[next_child])
                 next_child += 1
                 pebble_here = False
             elif tree.parent is not None:
                 node.send(tree.parent, PebbleMsg())
+                if tracer is not None:
+                    tracer.event("pebble_move", node=node.uid,
+                                 round_no=node.round, to=tree.parent)
                 pebble_here = False
             else:
                 # Root, traversal exhausted: announce the finish round.
@@ -134,11 +149,13 @@ def apsp_phase(node: NodeAlgorithm, tree, *, collect_girth: bool = False):
                                              value=finish_round))
 
     # All nodes leave the loop in round ``finish_round`` — aligned.
+    if wave_span is not None:
+        tracer.span_end(wave_span, round_no=node.round)
     return outcome
 
 
 def _process_waves(node: NodeAlgorithm, inbox, outcome: ApspPhaseOutcome,
-                   collect_girth: bool) -> None:
+                   collect_girth: bool, tracer=None) -> None:
     """Adopt/forward BFS waves; collect girth candidates (Lemma 7)."""
     arrivals: Dict[int, List[Tuple[int, int]]] = {}
     for sender, msg in inbox.items():
@@ -161,6 +178,9 @@ def _process_waves(node: NodeAlgorithm, inbox, outcome: ApspPhaseOutcome,
         senders = [sender for sender, _ in entries]
         outcome.distances[wave_root] = depth
         outcome.parents[wave_root] = min(senders)
+        if tracer is not None:
+            tracer.event("bfs_adopt", node=node.uid, round_no=node.round,
+                         root=wave_root, dist=depth)
         if collect_girth and len(senders) > 1:
             # Two same-round senders close a cycle through the root.
             outcome.note_cycle(2 * depth)

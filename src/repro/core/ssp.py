@@ -58,6 +58,7 @@ from ..congest.faults import FaultsLike
 from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
+from ..obs.tracer import active as obs_active
 from .apsp import ROOT, validate_apsp_input
 from .messages import OfferMsg
 from .results import SspResult, SspSummary
@@ -97,6 +98,17 @@ def ssp_main_loop(
     """
     if priority not in (PRIORITY_DIST_ID, PRIORITY_ID):
         raise ValueError(f"unknown priority rule {priority!r}")
+    tracer = obs_active()
+    loop_span: Optional[int] = None
+    if tracer is not None:
+        # The aligned entry round is the r0 that Theorem 3's delay
+        # accounting is measured from (see repro.obs.invariants).
+        tracer.event("ssp_loop_start", node=node.uid, round_no=node.round,
+                     size_s=size_s, duration=duration, in_s=in_s)
+        loop_span = tracer.span_begin(
+            "ssp_main_loop", node=node.uid, round_no=node.round,
+            size_s=size_s, duration=duration,
+        )
     outcome = SspPhaseOutcome()
     known: Set[int] = set()        # the set L
     pending: Dict[int, Set[int]] = {nb: set() for nb in node.neighbors}
@@ -175,6 +187,11 @@ def ssp_main_loop(
                         outcome.distances[incoming.source] = incoming.dist
                         outcome.parents[incoming.source] = nb
                         known.add(incoming.source)
+                        if tracer is not None:
+                            tracer.event("wave_adopt", node=node.uid,
+                                         round_no=node.round,
+                                         source=incoming.source,
+                                         dist=incoming.dist)
                         if depth_limit is None or \
                                 incoming.dist < depth_limit:
                             for other in node.neighbors:
@@ -196,6 +213,11 @@ def ssp_main_loop(
                     outcome.distances[incoming.source] = incoming.dist
                     outcome.parents[incoming.source] = nb
                     known.add(incoming.source)
+                    if tracer is not None:
+                        tracer.event("wave_adopt", node=node.uid,
+                                     round_no=node.round,
+                                     source=incoming.source,
+                                     dist=incoming.dist)
                     if depth_limit is None or incoming.dist < depth_limit:
                         # k-BFS truncation (Definition 7): nodes at the
                         # cut-off depth do not extend the wave further.
@@ -203,6 +225,9 @@ def ssp_main_loop(
                             if other != nb:
                                 pending[other].add(incoming.source)
 
+    if loop_span is not None:
+        tracer.span_end(loop_span, round_no=node.round,
+                        known=len(outcome.distances))
     if detect_cycles:
         # Walk: me → s (final δ[s]) + edge to sender + sender → s at the
         # time of the offer (dist - 1); genuine because the final parent

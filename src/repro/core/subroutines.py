@@ -32,6 +32,7 @@ from ..congest.errors import ProtocolError
 from ..congest.mailbox import Inbox
 from ..congest.message import INFINITY
 from ..congest.node import NodeAlgorithm
+from ..obs.tracer import active as obs_active
 from .messages import BfsToken, DownMsg, EchoMsg, JoinMsg, SyncMsg, UpMsg
 
 Subroutine = Generator[None, Inbox, object]
@@ -143,6 +144,13 @@ def build_bfs_tree(
     first_senders: Tuple[int, ...] = ()
     mark_value = mark
 
+    tracer = obs_active()
+    tree_span = (
+        tracer.span_begin("bfs_tree", node=node.uid,
+                          round_no=node.round, root=root)
+        if tracer is not None else None
+    )
+
     if is_root:
         node.send_all(BfsToken(root=root, dist=0))
     # --- Phase 1: wave, adoption, child discovery -------------------------
@@ -203,6 +211,9 @@ def build_bfs_tree(
         for child in children:
             node.send(child, sync)
         yield from wait_until_round(node, sync.start_round)
+        if tree_span is not None:
+            tracer.span_end(tree_span, round_no=node.round, depth=depth,
+                            children=len(children))
         return TreeInfo(
             root=root,
             depth=depth,
@@ -221,6 +232,9 @@ def build_bfs_tree(
     for child in children:
         node.send(child, sync)
     yield from wait_until_round(node, start_round)
+    if tree_span is not None:
+        tracer.span_end(tree_span, round_no=node.round, depth=0,
+                        children=len(children), ecc_root=ecc_root)
     return TreeInfo(
         root=root,
         depth=0,

@@ -36,6 +36,7 @@ from ..congest.faults import FaultsLike
 from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
+from ..obs.tracer import active as obs_active
 from .apsp import ROOT, validate_apsp_input
 from .ssp import ssp_main_loop
 from .subroutines import (
@@ -97,6 +98,10 @@ class TwoVsFourNode(NodeAlgorithm):
         low_count = tree.marked_count
         d0 = tree.diameter_bound
 
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.event("two_vs_four_branch", node=self.uid,
+                         round_no=self.round, low_count=low_count)
         if low_count > 0:
             # Line 1–3: some low-degree node exists; pick the smallest.
             chosen = yield from aggregate_and_share(
@@ -127,6 +132,10 @@ class TwoVsFourNode(NodeAlgorithm):
         )
         # Lines 8–12: all trees depth ≤ 2 → diameter 2, else 4.
         verdict = 2 if worst <= 2 else 4
+        if tracer is not None:
+            tracer.event("two_vs_four_verdict", node=self.uid,
+                         round_no=self.round, branch=branch,
+                         worst_depth=worst, verdict=verdict)
         return TwoVsFourResult(
             uid=self.uid,
             diameter=verdict,

@@ -247,7 +247,16 @@ def available_algorithms() -> List[str]:
 
 
 def execute_task(task: Task) -> Dict[str, Any]:
-    """Run one task and return its deterministic record (see module doc)."""
+    """Run one task and return its deterministic record (see module doc).
+
+    A ``trace: true`` param (set spec-wide by ``CampaignSpec.trace`` /
+    ``repro campaign --trace``) runs the task under
+    :func:`repro.obs.capture` and adds the trace's deterministic
+    summary digest as a ``trace`` field — still JSON-pure and
+    replay-stable, so cached and fresh records stay byte-identical.
+    Workers run one task at a time, so the process-global tracer slot
+    is safe here.
+    """
     try:
         adapter = _ALGORITHMS[task.algorithm]
     except KeyError:
@@ -256,10 +265,23 @@ def execute_task(task: Task) -> Dict[str, Any]:
             f"available: {available_algorithms()}"
         )
     graph = parse_graph(task.graph)
-    result, metrics = adapter(graph, task.param_dict())
-    return {
+    params = task.param_dict()
+    trace_summary = None
+    if params.pop("trace", False):
+        from ..obs import capture
+
+        with capture() as session:
+            result, metrics = adapter(graph, params)
+        if session.network_count:
+            trace_summary = session.summary()
+    else:
+        result, metrics = adapter(graph, params)
+    record = {
         "task": task.payload(),
         "graph": {"n": graph.n, "m": graph.m},
         "result": result,
         "metrics": metrics.to_dict(),
     }
+    if trace_summary is not None:
+        record["trace"] = trace_summary
+    return record

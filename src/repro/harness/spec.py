@@ -155,10 +155,12 @@ class CampaignSpec:
     salt: str = ""
     #: Canonical fault-injection dict applied to every task, or None.
     faults: Optional[Mapping[str, Any]] = None
+    #: Record a repro-trace/1 summary per task (docs/observability.md).
+    trace: bool = False
 
     _FIELDS = (
         "name", "graphs", "sizes", "seeds", "algorithms", "policies",
-        "params", "salt", "faults",
+        "params", "salt", "faults", "trace",
     )
 
     @classmethod
@@ -190,6 +192,10 @@ class CampaignSpec:
                 raise SpecError(
                     f"'{reserved}' is a sweep axis, not a shared param"
                 )
+        if "trace" in params:
+            raise SpecError(
+                "'trace' is a top-level spec field, not a shared param"
+            )
         faults = _normalize_faults(data.get("faults"))
         if faults is not None and "faults" in params:
             raise SpecError(
@@ -205,7 +211,18 @@ class CampaignSpec:
             params=params,
             salt=str(data.get("salt", "")),
             faults=faults,
+            trace=bool(data.get("trace", False)),
         )
+
+    def with_trace(self, trace: bool = True) -> "CampaignSpec":
+        """A copy of this spec with per-task trace capture toggled.
+
+        Traced tasks carry ``trace: true`` in their params — part of the
+        cache key, so traced and untraced sweeps never share records —
+        and their stored records gain a deterministic ``trace`` summary
+        (the :meth:`repro.obs.session.Trace.summary_dict` digest).
+        """
+        return replace(self, trace=bool(trace))
 
     def with_faults(self, faults: Any) -> "CampaignSpec":
         """A copy of this spec with fault injection applied everywhere.
@@ -239,6 +256,8 @@ class CampaignSpec:
                             }
                             if self.faults is not None:
                                 task_params["faults"] = self.faults
+                            if self.trace:
+                                task_params["trace"] = True
                             task = Task.make(graph, algorithm, task_params)
                             if task not in seen:
                                 seen.add(task)

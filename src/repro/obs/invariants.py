@@ -1,0 +1,193 @@
+"""Trace invariants: the paper's round-accounting claims, checkable.
+
+The point of the observability layer is that statements like Lemma 1
+("no two BFS tokens cross the same edge in the same round") stop being
+test folklore and become predicates over a :class:`~repro.obs.session.Trace`.
+Each checker here corresponds to one claim (the cross-link table lives
+in ``docs/table1.md``):
+
+* :func:`lemma1_collisions` — **Lemma 1**: Algorithm 1's pebble
+  schedule keeps the ``n`` BFS waves congestion-free, so no directed
+  edge ever carries tokens of two different waves in one round.
+* :func:`pebble_hops_per_round` — **Remark 3**: the DFS pebble moves
+  at most one edge anywhere in the network per round (``2(n-1)`` hops
+  total).
+* :func:`wave_delays` / :func:`max_wave_delay` — **Theorem 3**: in
+  Algorithm 2 a wave is delayed at most once per other source, so the
+  true-distance offer reaches every node at most ``|S|`` rounds late.
+
+:func:`check` bundles them into pass/fail results for the summary
+exporter and the ``repro trace run`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .session import Trace
+
+DirectedEdge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Lemma1Collision:
+    """Two (or more) BFS waves on one directed edge in one round."""
+
+    round_no: int
+    sender: int
+    receiver: int
+    roots: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Outcome of one invariant check over a trace."""
+
+    name: str
+    ok: bool
+    detail: str
+
+
+def lemma1_collisions(
+    trace: Trace, *, kind: str = "BfsToken"
+) -> List[Lemma1Collision]:
+    """Same-edge/same-round collisions between distinct BFS waves.
+
+    Lemma 1 says Algorithm 1 produces none.  The tree-construction
+    phase contributes only the single ``T_1`` wave, so it can never
+    collide; a nonzero result always indicts the pebble schedule.
+    """
+    seen: Dict[Tuple[int, int, int], set] = {}
+    for record in trace.messages:
+        if record.kind != kind:
+            continue
+        root = record.fields.get("root")
+        key = (record.round_no, record.sender, record.receiver)
+        seen.setdefault(key, set()).add(root)
+    return [
+        Lemma1Collision(round_no, sender, receiver, tuple(sorted(roots)))
+        for (round_no, sender, receiver), roots in sorted(seen.items())
+        if len(roots) > 1
+    ]
+
+
+def pebble_hops_per_round(trace: Trace) -> Dict[int, int]:
+    """Pebble messages delivered per round (rounds with none omitted).
+
+    Remark 3's traversal moves one pebble one edge per round, so every
+    value should be 1; the total equals ``2(n-1)`` on a full APSP run.
+    """
+    hops: Dict[int, int] = {}
+    for record in trace.messages:
+        if record.kind == "PebbleMsg":
+            hops[record.round_no] = hops.get(record.round_no, 0) + 1
+    return hops
+
+
+def wave_delays(trace: Trace) -> Dict[Tuple[int, int], int]:
+    """Per ``(node, source)`` delay of Algorithm 2's waves, in rounds.
+
+    Derived from the ``ssp_loop_start`` / ``wave_adopt`` events the
+    instrumented :func:`~repro.core.ssp.ssp_main_loop` emits: the main
+    loop starts aligned at round ``r0`` and an undelayed wave reaches
+    distance ``d`` at round ``r0 + d``, so the *final* adoption of
+    source ``s`` at node ``v`` (carrying the true distance) arriving at
+    round ``r`` was delayed ``r - r0 - d`` rounds.  Theorem 3 bounds
+    this by ``|S|``.  Empty when the trace has no S-SP phase.
+    """
+    starts = trace_loop_starts(trace)
+    if not starts:
+        return {}
+    r0 = min(starts.values())
+    final: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    for record in trace.events:
+        if record.name != "wave_adopt":
+            continue
+        key = (record.node, record.attrs["source"])
+        dist = record.attrs["dist"]
+        previous = final.get(key)
+        # The adoption carrying the smallest distance is the final word;
+        # later re-improvements of the same distance keep the first round.
+        if previous is None or dist < previous[0]:
+            final[key] = (dist, record.round_no)
+    return {
+        key: round_no - r0 - dist
+        for key, (dist, round_no) in final.items()
+    }
+
+
+def trace_loop_starts(trace: Trace) -> Dict[int, int]:
+    """Round at which each node entered the S-SP main loop (aligned)."""
+    return {
+        record.node: record.round_no
+        for record in trace.events
+        if record.name == "ssp_loop_start"
+    }
+
+
+def ssp_source_count(trace: Trace) -> Optional[int]:
+    """``|S|`` as announced by the S-SP instrumentation, if present."""
+    for record in trace.events:
+        if record.name == "ssp_loop_start":
+            return record.attrs.get("size_s")
+    return None
+
+
+def max_wave_delay(trace: Trace) -> Optional[int]:
+    """The largest wave delay observed, or ``None`` without S-SP events."""
+    delays = wave_delays(trace)
+    return max(delays.values()) if delays else None
+
+
+def check(trace: Trace) -> List[InvariantResult]:
+    """Run every applicable invariant; skip ones the trace can't witness."""
+    results: List[InvariantResult] = []
+
+    has_bfs = any(r.kind == "BfsToken" for r in trace.messages)
+    if has_bfs:
+        collisions = lemma1_collisions(trace)
+        results.append(
+            InvariantResult(
+                name="lemma1_no_wave_collisions",
+                ok=not collisions,
+                detail=(
+                    "no two BFS waves shared an edge in any round"
+                    if not collisions else
+                    f"{len(collisions)} same-edge/same-round collisions, "
+                    f"first at round {collisions[0].round_no} on edge "
+                    f"{collisions[0].sender}->{collisions[0].receiver}"
+                ),
+            )
+        )
+
+    hops = pebble_hops_per_round(trace)
+    if hops:
+        worst = max(hops.values())
+        results.append(
+            InvariantResult(
+                name="remark3_single_pebble_hop",
+                ok=worst <= 1,
+                detail=(
+                    f"pebble moved {sum(hops.values())} hops, "
+                    f"max {worst} per round"
+                ),
+            )
+        )
+
+    delay = max_wave_delay(trace)
+    if delay is not None:
+        size_s = ssp_source_count(trace)
+        bound = size_s if size_s is not None else trace.n
+        results.append(
+            InvariantResult(
+                name="theorem3_wave_delay_bound",
+                ok=delay <= bound,
+                detail=(
+                    f"max wave delay {delay} rounds "
+                    f"(bound |S| = {bound})"
+                ),
+            )
+        )
+
+    return results

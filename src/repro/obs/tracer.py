@@ -1,0 +1,274 @@
+"""The span/event tracing runtime.
+
+This module is the *only* part of the observability layer the algorithm
+code in :mod:`repro.core` and the round engine ever touch, and it is
+designed around one constraint: **when tracing is off it must cost
+nothing**.  There is a single module-level slot (``_ACTIVE``) holding
+the active :class:`Tracer` or ``None``; instrumented code hoists one
+``active()`` read and guards every emission with ``is not None`` — the
+disabled path is a global load per protocol phase, which is why the
+golden-equivalence fixtures and the bench baselines are unaffected by
+merely importing :mod:`repro.obs` (pinned by
+``tests/obs/test_disabled_fast_path.py``).
+
+Two emission primitives exist:
+
+* :func:`event` / :meth:`Tracer.event` — a point-in-time fact
+  (``event("pebble_move", node=3, round_no=17, to=5)``);
+* :func:`span` / :meth:`Tracer.span_begin` + :meth:`Tracer.span_end` —
+  an interval (``span("bfs_wave", src=v)``).  Node programs are
+  generators, so intervals usually cross many ``yield``\\ s; the
+  explicit begin/end pair exists for that, while the :func:`span`
+  context manager covers same-activation scopes.  Spans left open when
+  a run ends are closed at the final round by
+  :meth:`Tracer.finished_spans`.
+
+Rounds are the clock.  The simulator has no meaningful wall-clock, so
+every record is stamped with the *round number* the caller passes
+(``round_no=node.round``); exporters later map rounds onto microseconds
+for Chrome's ``trace_event`` viewer.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Record kinds a tracer stores, in the order they may appear.
+KIND_EVENT = "event"
+KIND_SPAN_BEGIN = "span_begin"
+KIND_SPAN_END = "span_end"
+
+
+@dataclass(frozen=True)
+class ObsRecord:
+    """One raw tracer record (point event or span edge)."""
+
+    kind: str                      # KIND_EVENT / KIND_SPAN_BEGIN / KIND_SPAN_END
+    name: str                      # event or span name ("" for span ends)
+    round_no: Optional[int]        # the simulator round, if known
+    node: Optional[int]            # emitting node id, if any
+    span_id: Optional[int]         # links begin/end pairs
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """A paired (or run-end-closed) span interval."""
+
+    span_id: int
+    name: str
+    node: Optional[int]
+    begin: int
+    end: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        """Interval length in rounds (≥ 0)."""
+        return max(0, self.end - self.begin)
+
+
+class Tracer:
+    """Collects spans and events for one traced run.
+
+    A tracer is a dumb appender: it never inspects attrs, never
+    deduplicates, and keeps records in emission order (which is
+    deterministic because the scheduler resumes nodes in ascending id
+    order).  All interpretation — pairing spans, computing delays,
+    rendering — happens downstream in :mod:`repro.obs.session`,
+    :mod:`repro.obs.invariants` and :mod:`repro.obs.export`.
+    """
+
+    __slots__ = ("records", "_next_span_id")
+
+    def __init__(self) -> None:
+        self.records: List[ObsRecord] = []
+        self._next_span_id = 1
+
+    # -- emission ----------------------------------------------------------
+
+    def event(
+        self,
+        name: str,
+        *,
+        node: Optional[int] = None,
+        round_no: Optional[int] = None,
+        **attrs: Any,
+    ) -> None:
+        """Record a point event."""
+        self.records.append(
+            ObsRecord(KIND_EVENT, name, round_no, node, None, attrs)
+        )
+
+    def span_begin(
+        self,
+        name: str,
+        *,
+        node: Optional[int] = None,
+        round_no: Optional[int] = None,
+        **attrs: Any,
+    ) -> int:
+        """Open a span; returns the id to pass to :meth:`span_end`."""
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        self.records.append(
+            ObsRecord(KIND_SPAN_BEGIN, name, round_no, node, span_id, attrs)
+        )
+        return span_id
+
+    def span_end(
+        self,
+        span_id: int,
+        *,
+        round_no: Optional[int] = None,
+        **attrs: Any,
+    ) -> None:
+        """Close a span opened by :meth:`span_begin`."""
+        self.records.append(
+            ObsRecord(KIND_SPAN_END, "", round_no, None, span_id, attrs)
+        )
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        node: Optional[int] = None,
+        round_no: Optional[int] = None,
+        **attrs: Any,
+    ) -> Iterator[int]:
+        """Context-manager form for spans confined to one activation.
+
+        The end record reuses the begin round unless the body advanced
+        it; cross-round spans should use the explicit pair so they can
+        stamp the true end round.
+        """
+        span_id = self.span_begin(
+            name, node=node, round_no=round_no, **attrs
+        )
+        try:
+            yield span_id
+        finally:
+            self.span_end(span_id, round_no=round_no)
+
+    # -- queries -----------------------------------------------------------
+
+    def events(self, name: Optional[str] = None) -> List[ObsRecord]:
+        """Point events, optionally filtered by name, in emission order."""
+        return [
+            record for record in self.records
+            if record.kind == KIND_EVENT
+            and (name is None or record.name == name)
+        ]
+
+    def finished_spans(
+        self, *, final_round: Optional[int] = None
+    ) -> List[SpanRecord]:
+        """Pair begin/end records into intervals, in begin order.
+
+        Spans still open are closed at ``final_round`` (or their begin
+        round if no final round is known) — a run that ends mid-span is
+        a fact worth rendering, not an error.
+        """
+        ends: Dict[int, ObsRecord] = {}
+        for record in self.records:
+            if record.kind == KIND_SPAN_END and record.span_id is not None:
+                ends.setdefault(record.span_id, record)
+        spans: List[SpanRecord] = []
+        for record in self.records:
+            if record.kind != KIND_SPAN_BEGIN:
+                continue
+            begin_round = record.round_no or 0
+            end_record = ends.get(record.span_id)
+            if end_record is not None and end_record.round_no is not None:
+                end_round = end_record.round_no
+            elif final_round is not None:
+                end_round = max(begin_round, final_round)
+            else:
+                end_round = begin_round
+            attrs = dict(record.attrs)
+            if end_record is not None and end_record.attrs:
+                attrs.update(end_record.attrs)
+            spans.append(
+                SpanRecord(
+                    span_id=record.span_id,
+                    name=record.name,
+                    node=record.node,
+                    begin=begin_round,
+                    end=end_round,
+                    attrs=attrs,
+                )
+            )
+        return spans
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+# ---------------------------------------------------------------------------
+# The module-level activation slot.
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def active() -> Optional[Tracer]:
+    """The currently installed tracer, or ``None`` when tracing is off.
+
+    Hot code hoists this once per protocol phase::
+
+        tracer = active()
+        ...
+        if tracer is not None:
+            tracer.event("pebble_move", node=me, round_no=r, to=dest)
+    """
+    return _ACTIVE
+
+
+def is_enabled() -> bool:
+    """Whether a tracer is installed (the observability layer is live)."""
+    return _ACTIVE is not None
+
+
+def install(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` as the active one; returns the previous slot.
+
+    Prefer the :func:`tracing` context manager; this low-level setter
+    exists for the capture session, which must restore across two
+    globals atomically.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Activate a tracer (a fresh one by default) for the ``with`` body."""
+    installed = tracer if tracer is not None else Tracer()
+    previous = install(installed)
+    try:
+        yield installed
+    finally:
+        install(previous)
+
+
+def event(name: str, **kwargs: Any) -> None:
+    """Module-level :meth:`Tracer.event`; no-op when tracing is off."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.event(name, **kwargs)
+
+
+@contextmanager
+def span(name: str, **kwargs: Any) -> Iterator[Optional[int]]:
+    """Module-level :meth:`Tracer.span`; no-op when tracing is off."""
+    tracer = _ACTIVE
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **kwargs) as span_id:
+        yield span_id

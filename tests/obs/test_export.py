@@ -1,0 +1,108 @@
+"""Exporter tests: repro-trace/1 JSONL, Chrome trace_event, heatmap."""
+
+import json
+
+import pytest
+
+from repro import core, obs
+from repro.graphs.specs import parse_graph
+
+
+@pytest.fixture(scope="module")
+def trace():
+    with obs.capture() as session:
+        core.run_apsp(parse_graph("er:16:p=0.3:seed=2"), seed=0)
+    return session.build_trace(0, label="apsp er16")
+
+
+class TestJsonl:
+    def test_every_line_parses(self, trace):
+        lines = [json.loads(line) for line in obs.to_jsonl(trace)]
+        assert lines[0]["type"] == "header"
+        assert lines[0]["schema"] == "repro-trace/1"
+        assert lines[0]["n"] == 16 and lines[0]["label"] == "apsp er16"
+        types = {line["type"] for line in lines}
+        assert types == {"header", "round", "message", "event", "span"}
+
+    def test_stream_is_complete(self, trace):
+        lines = [json.loads(line) for line in obs.to_jsonl(trace)]
+        by_type = {}
+        for line in lines:
+            by_type.setdefault(line["type"], []).append(line)
+        assert len(by_type["message"]) == len(trace.messages)
+        assert len(by_type["event"]) == len(trace.events)
+        assert len(by_type["span"]) == len(trace.spans)
+        assert sum(r["messages"] for r in by_type["round"]) == \
+            len(trace.messages)
+
+    def test_write_jsonl(self, trace, tmp_path):
+        path = obs.write_jsonl(trace, tmp_path / "t.jsonl")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert json.loads(lines[0])["schema"] == "repro-trace/1"
+        assert len(lines) >= 1 + len(trace.messages)
+
+
+class TestChrome:
+    def test_structure_is_loadable(self, trace, tmp_path):
+        path = obs.write_chrome(trace, tmp_path / "t.json")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert isinstance(data["traceEvents"], list)
+        assert data["otherData"]["schema"] == "repro-trace/1"
+        for event in data["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            if event["ph"] != "M":
+                assert "ts" in event
+            if event["ph"] == "X":
+                assert event["dur"] > 0
+
+    def test_lanes_present(self, trace):
+        data = obs.to_chrome(trace)
+        names = {
+            e["args"]["name"]
+            for e in data["traceEvents"]
+            if e["name"] == "process_name"
+        }
+        assert names == {"rounds", "nodes", "edges"}
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert {"M", "C", "X"} <= phases
+
+    def test_rounds_map_to_microseconds(self, trace):
+        from repro.obs.export import ROUND_US
+
+        data = obs.to_chrome(trace)
+        slices = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert slices
+        assert all(e["ts"] % ROUND_US == 0 for e in slices)
+        assert max(e["ts"] for e in slices) <= trace.rounds * ROUND_US
+
+
+class TestHeatmapAndSummary:
+    def test_heatmap_rows_are_busiest_edges(self, trace):
+        text = obs.render_heatmap(trace, max_edges=5)
+        lines = text.splitlines()
+        rows = [line for line in lines if "|" in line]
+        assert len(rows) == 5
+        busiest = max(
+            trace.edge_totals().items(), key=lambda kv: kv[1][1]
+        )[0]
+        assert f"{busiest[0]}->{busiest[1]}" in text
+
+    def test_heatmap_width_bounds_columns(self, trace):
+        text = obs.render_heatmap(trace, width=30, max_edges=3)
+        rows = [line for line in text.splitlines() if "|" in line]
+        cells = rows[0].split("|")[1]
+        assert len(cells) <= 30
+
+    def test_empty_trace_heatmap(self):
+        from repro.obs.session import Trace
+
+        empty = Trace(n=2, m=1, bandwidth_bits=48, rounds=0,
+                      messages=[], events=[], spans=[], queue_depths={})
+        assert "no messages" in obs.render_heatmap(empty)
+
+    def test_summary_mentions_invariants_and_census(self, trace):
+        text = obs.render_summary(trace)
+        assert "lemma1_no_wave_collisions" in text
+        assert "remark3_single_pebble_hop" in text
+        assert "BfsToken" in text
+        assert "round x edge heatmap" in text

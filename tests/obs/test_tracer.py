@@ -1,0 +1,86 @@
+"""Unit tests for the span/event runtime (repro.obs.tracer)."""
+
+import pytest
+
+from repro.obs import tracer as tracer_mod
+from repro.obs.tracer import Tracer
+
+
+class TestTracer:
+    def test_event_recording(self):
+        tracer = Tracer()
+        tracer.event("pebble_move", node=3, round_no=17, to=5)
+        tracer.event("pebble_move", node=5, round_no=18, to=3)
+        tracer.event("other", node=1, round_no=1)
+        moves = tracer.events("pebble_move")
+        assert len(moves) == 2
+        assert moves[0].node == 3 and moves[0].round_no == 17
+        assert moves[0].attrs == {"to": 5}
+        assert len(tracer.events()) == 3
+
+    def test_span_pairing(self):
+        tracer = Tracer()
+        sid = tracer.span_begin("bfs_wave", node=4, round_no=10, src=4)
+        tracer.event("noise", round_no=11)
+        tracer.span_end(sid, round_no=25, adopted=19)
+        spans = tracer.finished_spans()
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.name == "bfs_wave"
+        assert (span.begin, span.end, span.rounds) == (10, 25, 15)
+        # End attrs merge over begin attrs.
+        assert span.attrs == {"src": 4, "adopted": 19}
+
+    def test_open_span_closed_at_final_round(self):
+        tracer = Tracer()
+        tracer.span_begin("phase", round_no=5)
+        spans = tracer.finished_spans(final_round=40)
+        assert spans[0].end == 40
+        # Without a final round the span collapses to its begin round.
+        assert tracer.finished_spans()[0].end == 5
+
+    def test_span_ids_are_distinct(self):
+        tracer = Tracer()
+        ids = {tracer.span_begin("s", round_no=i) for i in range(5)}
+        assert len(ids) == 5
+
+    def test_span_context_manager(self):
+        tracer = Tracer()
+        with tracer.span("setup", node=1, round_no=3):
+            tracer.event("inner", round_no=3)
+        spans = tracer.finished_spans()
+        assert spans[0].name == "setup" and spans[0].rounds == 0
+
+
+class TestModuleSlot:
+    def test_disabled_by_default(self):
+        assert not tracer_mod.is_enabled()
+        assert tracer_mod.active() is None
+
+    def test_module_event_is_noop_when_disabled(self):
+        tracer_mod.event("ignored", node=1, round_no=1)
+        with tracer_mod.span("also_ignored") as sid:
+            assert sid is None
+        assert not tracer_mod.is_enabled()
+
+    def test_tracing_installs_and_restores(self):
+        with tracer_mod.tracing() as tracer:
+            assert tracer_mod.active() is tracer
+            tracer_mod.event("seen", round_no=1)
+            assert len(tracer.events("seen")) == 1
+        assert tracer_mod.active() is None
+
+    def test_tracing_nests(self):
+        with tracer_mod.tracing() as outer:
+            with tracer_mod.tracing() as inner:
+                assert tracer_mod.active() is inner
+                tracer_mod.event("inner_only")
+            assert tracer_mod.active() is outer
+            assert outer.events("inner_only") == []
+        assert not tracer_mod.is_enabled()
+
+    def test_tracing_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with tracer_mod.tracing():
+                raise RuntimeError("boom")
+        assert not tracer_mod.is_enabled()

@@ -216,6 +216,83 @@ class TestCampaignCommand:
         assert record["error"]["type"] == "Timeout"
 
 
+class TestTraceCommand:
+    def run(self, argv, capsys):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_summary_export_prints_invariants_and_heatmap(self, capsys):
+        out = self.run(
+            ["trace", "run", "apsp", "er:32:p=0.15:seed=1"], capsys
+        )
+        assert "lemma1_no_wave_collisions" in out
+        assert "[ok ]" in out and "FAIL" not in out
+        assert "round x edge heatmap" in out
+
+    def test_chrome_export_is_loadable_trace_event_json(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "trace.json"
+        out = self.run([
+            "trace", "run", "apsp", "torus:3x4",
+            "--export", "chrome", "--out", str(target),
+        ], capsys)
+        assert "chrome trace ->" in out
+        data = json.loads(target.read_text(encoding="utf-8"))
+        assert isinstance(data["traceEvents"], list)
+        assert data["traceEvents"]
+        assert data["otherData"]["schema"] == "repro-trace/1"
+
+    def test_jsonl_export_writes_schema_stream(self, tmp_path, capsys):
+        target = tmp_path / "trace.jsonl"
+        self.run([
+            "trace", "run", "ssp", "path:8", "--sources", "1,8",
+            "--export", "jsonl", "--out", str(target),
+        ], capsys)
+        lines = [
+            json.loads(line)
+            for line in target.read_text(encoding="utf-8").splitlines()
+        ]
+        assert lines[0]["type"] == "header"
+        assert lines[0]["schema"] == "repro-trace/1"
+        assert any(line["type"] == "event" for line in lines)
+
+    def test_ssp_summary_checks_theorem3(self, capsys):
+        out = self.run([
+            "trace", "run", "ssp", "er:24:p=0.2:seed=3",
+            "--sources", "1,5,9",
+        ], capsys)
+        assert "theorem3_wave_delay_bound" in out
+        assert "FAIL" not in out
+
+    def test_tracing_leaves_globals_clean(self, capsys):
+        from repro.congest import network as network_mod
+        from repro.obs import is_enabled
+
+        self.run(["trace", "run", "apsp", "path:6"], capsys)
+        assert not is_enabled()
+        assert network_mod._network_observer is None
+
+    def test_faults_flag_accepted(self, capsys):
+        out = self.run([
+            "trace", "run", "apsp", "er:20:p=0.25:seed=4",
+            "--faults", '{"drop_rate": 0.01, "seed": 3}',
+        ], capsys)
+        assert "trace [apsp" in out
+
+    def test_campaign_trace_flag_stores_summaries(self, tmp_path, capsys):
+        out = tmp_path / "traced.jsonl"
+        assert main([
+            "campaign", "--graphs", "path:8", "--trace", "--quiet",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        record = json.loads(out.read_text(encoding="utf-8").splitlines()[0])
+        assert record["trace"]["schema"] == "repro-trace/1"
+        assert record["trace"]["lemma1_collisions"] == 0
+
+
 class TestExperimentJobsFlag:
     def test_experiment_with_jobs_and_cache(self, tmp_path, capsys):
         assert main([

@@ -1,0 +1,42 @@
+"""Executable documentation: every fenced ``python`` block in
+``docs/*.md`` and ``README.md`` must run.
+
+This is the pytest face of ``tools/check_docs.py`` (the CI
+``docs-examples`` job runs the same extraction standalone).  Each block
+executes in a fresh interpreter with an empty temporary working
+directory and ``src/`` on ``PYTHONPATH``, so examples must be
+self-contained — exactly what a reader pasting them into a shell gets.
+
+Blocks that cannot run standalone opt out explicitly with the
+``python noexec`` info string; they are collected here as skips so the
+opt-out stays visible in test output.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+
+from check_docs import collect_blocks, run_block  # noqa: E402
+
+BLOCKS = collect_blocks()
+
+
+def test_docs_have_executable_examples():
+    runnable = [b for b in BLOCKS if b.runnable]
+    assert runnable, "no fenced python blocks found in docs/ or README.md"
+
+
+@pytest.mark.parametrize(
+    "block", BLOCKS, ids=[block.label for block in BLOCKS]
+)
+def test_doc_block_executes(block):
+    if block.skipped:
+        pytest.skip("marked 'python noexec'")
+    proc = run_block(block)
+    assert proc.returncode == 0, (
+        f"doc example {block.label} failed (exit {proc.returncode})\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}"
+    )

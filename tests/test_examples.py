@@ -50,6 +50,15 @@ def test_girth_demo(capsys):
     assert "inf" in out
 
 
+def test_trace_demo(capsys):
+    out = run_example("trace_demo.py", capsys)
+    assert "[ok  ] lemma1_no_wave_collisions" in out
+    assert "FAIL" not in out
+    assert "Theorem 3 allows up to 5" in out
+    assert "round x edge heatmap" in out
+    assert "repro-trace/1 JSONL" in out
+
+
 @pytest.mark.slow
 def test_diameter_sweep(capsys):
     out = run_example("diameter_sweep.py", capsys)

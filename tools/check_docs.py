@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Execute the fenced ``python`` examples in the documentation.
+
+Documentation examples rot: entry points get keyword-only arguments,
+result objects get renamed, flags disappear.  This tool makes every
+fenced code block whose info string is exactly ``python`` an executable
+contract:
+
+* blocks are extracted from ``docs/*.md`` and ``README.md``;
+* each block runs in a **fresh interpreter** (`sys.executable -`) with
+  an empty temporary directory as its working directory and ``src/`` on
+  ``PYTHONPATH`` — so every block must be self-contained, and blocks
+  that write files (campaign stores, trace exports) cannot pollute the
+  repository;
+* a block that should *not* run (it depends on out-of-band state, or is
+  deliberately illustrative pseudo-code) opts out with the info string
+  ``python noexec`` — it is listed as skipped, never silently ignored.
+
+Exit status is nonzero if any block fails, which is what the
+``docs-examples`` CI job gates on.  ``tests/test_docs.py`` wraps the
+same extraction for ``pytest`` users.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py            # all docs
+    PYTHONPATH=src python tools/check_docs.py docs/harness.md
+    PYTHONPATH=src python tools/check_docs.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_TIMEOUT_S = 180.0
+
+#: Info strings that mark a runnable block / an explicitly skipped one.
+RUN_INFO = "python"
+SKIP_INFO = "python noexec"
+
+
+@dataclass(frozen=True)
+class DocBlock:
+    """One fenced code block lifted from a markdown file."""
+
+    path: Path
+    line: int  # 1-based line of the opening fence
+    info: str  # the fence info string, stripped
+    code: str
+
+    @property
+    def label(self) -> str:
+        rel = self.path
+        try:
+            rel = self.path.relative_to(REPO_ROOT)
+        except ValueError:
+            pass
+        return f"{rel}:{self.line}"
+
+    @property
+    def runnable(self) -> bool:
+        return self.info == RUN_INFO
+
+    @property
+    def skipped(self) -> bool:
+        return self.info == SKIP_INFO
+
+
+def iter_blocks(path: Path) -> Iterator[DocBlock]:
+    """Yield every fenced block in *path* whose info string starts with
+    ``python`` (runnable and ``noexec`` alike)."""
+    fence: Optional[str] = None
+    info = ""
+    start = 0
+    lines: List[str] = []
+    for lineno, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        stripped = raw.strip()
+        if fence is None:
+            if stripped.startswith("```"):
+                fence = "```"
+                info = stripped[3:].strip()
+                start = lineno
+                lines = []
+        elif stripped == fence:
+            if info == RUN_INFO or info.startswith(RUN_INFO + " "):
+                yield DocBlock(path, start, info, "\n".join(lines) + "\n")
+            fence = None
+        else:
+            lines.append(raw)
+
+
+def doc_files(paths: Optional[Sequence[Path]] = None) -> List[Path]:
+    """The documentation files under contract."""
+    if paths:
+        return [p.resolve() for p in paths]
+    found = sorted((REPO_ROOT / "docs").glob("*.md"))
+    readme = REPO_ROOT / "README.md"
+    if readme.exists():
+        found.append(readme)
+    return found
+
+
+def collect_blocks(paths: Optional[Sequence[Path]] = None) -> List[DocBlock]:
+    return [block for path in doc_files(paths) for block in iter_blocks(path)]
+
+
+def run_block(
+    block: DocBlock, *, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> subprocess.CompletedProcess:
+    """Run one block in a fresh interpreter in an empty temp cwd."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as cwd:
+        return subprocess.run(
+            [sys.executable, "-"],
+            input=block.code,
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env=env,
+            timeout=timeout_s,
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the fenced python examples in docs/ and README.md."
+    )
+    parser.add_argument(
+        "files", nargs="*", type=Path,
+        help="markdown files to check (default: docs/*.md and README.md)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the discovered blocks without running them",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=DEFAULT_TIMEOUT_S,
+        help="per-block timeout in seconds (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    blocks = collect_blocks(args.files or None)
+    if args.list:
+        for block in blocks:
+            tag = "run " if block.runnable else "skip"
+            print(f"{tag}  {block.label}  [{block.info}]")
+        return 0
+
+    failures = 0
+    ran = skipped = 0
+    for block in blocks:
+        if block.skipped:
+            skipped += 1
+            print(f"SKIP  {block.label}  (noexec)")
+            continue
+        if not block.runnable:
+            skipped += 1
+            print(f"SKIP  {block.label}  [{block.info}]")
+            continue
+        ran += 1
+        try:
+            proc = run_block(block, timeout_s=args.timeout)
+        except subprocess.TimeoutExpired:
+            failures += 1
+            print(f"FAIL  {block.label}  (timeout after {args.timeout}s)")
+            continue
+        if proc.returncode == 0:
+            print(f"ok    {block.label}")
+        else:
+            failures += 1
+            print(f"FAIL  {block.label}  (exit {proc.returncode})")
+            for stream, text in (("stdout", proc.stdout),
+                                 ("stderr", proc.stderr)):
+                if text.strip():
+                    indented = "\n".join(
+                        "        " + line
+                        for line in text.strip().splitlines()
+                    )
+                    print(f"      {stream}:\n{indented}")
+    print(f"\n{ran} block(s) ran, {skipped} skipped, {failures} failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
