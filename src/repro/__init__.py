@@ -1,7 +1,7 @@
 """repro — a reproduction of *Optimal Distributed All Pairs Shortest
 Paths and Applications* (Holzer & Wattenhofer, PODC 2012).
 
-The package has four layers:
+The package has five layers:
 
 * :mod:`repro.congest` — a synchronous CONGEST-model network simulator
   with strict per-edge bandwidth accounting (the paper's model).
@@ -10,6 +10,10 @@ The package has four layers:
 * :mod:`repro.core` — the paper's algorithms: APSP (Algorithm 1), S-SP
   (Algorithm 2), all Lemma 2-7 graph properties, the Theorem 4/5
   approximations, the 2-vs-4 test (Algorithm 3), and baselines.
+* :mod:`repro.protocols` — the protocol registry: each algorithm
+  declared once (entry point, typed param schema, capability flags),
+  run everywhere through the same ``RunRequest → RunOutcome``
+  envelope (``docs/protocols.md``).
 * :mod:`repro.harness` — the campaign harness: declarative sweeps
   sharded across worker processes, a content-addressed run cache, and
   a JSONL result store (``docs/harness.md``).
@@ -23,8 +27,10 @@ Quickstart::
     print(apsp.diameter(), apsp.rounds)   # exact diameter, O(n) rounds
 """
 
-from . import congest, core, graphs, harness
+from . import congest, core, graphs, harness, protocols
 
 __version__ = "1.1.0"
 
-__all__ = ["congest", "core", "graphs", "harness", "__version__"]
+__all__ = [
+    "congest", "core", "graphs", "harness", "protocols", "__version__",
+]

@@ -1,13 +1,17 @@
 """Pinned microbenchmark workloads.
 
-Each :class:`Workload` names one core entry point on a fixed graph spec
-and seed, so every benchmark invocation — today, on CI, or three PRs
-from now — measures exactly the same simulation.  Two scales exist:
+Each :class:`Workload` names one registered protocol on a fixed graph
+spec and seed, so every benchmark invocation — today, on CI, or three
+PRs from now — measures exactly the same simulation.  Two scales exist:
 
 * **full** — the regression-tracked sizes (``bench_apsp`` is ``n = 128``,
   the workload the perf acceptance gate is defined on);
 * **quick** — small instances for CI smoke runs and local sanity checks
   (``repro bench --quick``).
+
+Dispatch goes through :mod:`repro.protocols` — a workload's
+``algorithm`` is a registry name, so any newly registered protocol is
+benchmarkable without touching this module.
 
 Determinism is part of the contract: a workload's rounds/messages/bits
 must be identical on every repeat, and the runner asserts that.  Only
@@ -17,15 +21,16 @@ wall time and RSS may vary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
-from .. import core
 from ..graphs.specs import parse_graph
+from ..protocols import TaskError
+from ..protocols import run as run_protocol
 
 
 @dataclass(frozen=True)
 class Workload:
-    """One pinned benchmark: an algorithm on a fixed graph spec and seed."""
+    """One pinned benchmark: a protocol on a fixed graph spec and seed."""
 
     name: str
     algorithm: str
@@ -34,10 +39,13 @@ class Workload:
     #: Graph spec at quick (smoke) scale.
     quick_graph: str
     seed: int = 0
-    #: Source ids for S-SP; ignored by the other algorithms.
+    #: Source ids for S-SP; ids absent from the (smaller) quick graph
+    #: are filtered out here, before the registry validates.
     sources: Tuple[int, ...] = ()
-    #: Approximation parameter for approximate girth; ``None`` = exact.
+    #: Approximation parameter for approximate protocols.
     epsilon: float = None
+    #: Extra protocol params as sorted ``(key, value)`` pairs.
+    params: Tuple[Tuple[str, Any], ...] = ()
 
     def graph_spec(self, quick: bool) -> str:
         """The spec measured at the requested scale."""
@@ -46,20 +54,22 @@ class Workload:
     def run(self, quick: bool):
         """Execute once; returns the run's :class:`RunMetrics`."""
         graph = parse_graph(self.graph_spec(quick))
-        if self.algorithm == "apsp":
-            return core.run_apsp(graph, seed=self.seed).metrics
-        if self.algorithm == "ssp":
-            sources = [s for s in self.sources if graph.has_node(s)]
-            return core.run_ssp(graph, sources, seed=self.seed).metrics
-        if self.algorithm == "two-vs-four":
-            return core.run_two_vs_four(graph, seed=self.seed).metrics
-        if self.algorithm == "girth":
-            if self.epsilon is None:
-                return core.run_exact_girth(graph, seed=self.seed).metrics
-            return core.run_approx_girth(
-                graph, self.epsilon, seed=self.seed
-            ).metrics
-        raise ValueError(f"unknown benchmark algorithm {self.algorithm!r}")
+        params: Dict[str, Any] = dict(self.params)
+        if self.sources:
+            params["sources"] = [
+                s for s in self.sources if graph.has_node(s)
+            ]
+        if self.epsilon is not None:
+            params["epsilon"] = self.epsilon
+        try:
+            outcome = run_protocol(
+                self.algorithm, graph, params, seed=self.seed
+            )
+        except TaskError as exc:
+            raise ValueError(
+                f"workload {self.name!r}: {exc}"
+            )
+        return outcome.metrics
 
 
 #: The pinned suite, in execution order.  ``bench_apsp`` (n = 128) is the
@@ -92,6 +102,13 @@ WORKLOADS: Dict[str, Workload] = {
             algorithm="girth",
             graph="torus:8x12",
             quick_graph="torus:4x6",
+        ),
+        Workload(
+            name="bench_weighted",
+            algorithm="weighted-apsp",
+            graph="torus:4x6",
+            quick_graph="path:8",
+            params=(("max_weight", 3),),
         ),
     )
 }

@@ -2,7 +2,10 @@
 
 Runs the paper's algorithms on generated or file-loaded topologies and
 prints the distributed results plus the round/message/bit costs.  The
-graph argument uses a compact spec syntax::
+algorithm subcommands — their names, flags, dispatch and printed
+reports — are derived from the protocol registry
+(:mod:`repro.protocols`); this module keeps no algorithm table of its
+own.  The graph argument uses a compact spec syntax::
 
     path:40              a 40-node path
     cycle:24             a 24-node cycle
@@ -24,6 +27,7 @@ Examples::
     python -m repro two-vs-four --family diameter2 --n 80
     python -m repro baseline path:32 --algorithm distance-vector
     python -m repro leader er:30:p=0.2
+    python -m repro weighted-apsp torus:4x6 --max-weight 3
     python -m repro campaign --graphs "path:{n}" --sizes 20,40 --jobs 4
 """
 
@@ -34,9 +38,10 @@ import json
 import sys
 from typing import List, Optional
 
-from . import core, graphs
+from . import graphs, protocols
 from .graphs.specs import GraphSpecError
 from .graphs.specs import parse_graph as _parse_graph_spec
+from .protocols import TaskError
 
 
 def parse_graph(spec: str) -> graphs.Graph:
@@ -52,102 +57,65 @@ def parse_graph(spec: str) -> graphs.Graph:
         raise SystemExit(str(exc))
 
 
-def _print_cost(metrics) -> None:
-    print(f"rounds:   {metrics.rounds}")
-    print(f"messages: {metrics.messages_total}")
-    print(f"bits:     {metrics.bits_total}")
+def _make_protocol_command(protocol: protocols.Protocol):
+    """Build the handler for one registry-derived run subcommand.
+
+    The generic pipeline: build the graph, optionally redirect to a
+    sibling protocol (``select``), collect params from the parsed
+    flags, run the ``RunRequest → RunOutcome`` envelope, and hand the
+    outcome to the protocol's ``present`` hook for printing.
+    """
+    spec = protocol.cli
+
+    def handler(args: argparse.Namespace) -> Optional[int]:
+        if spec.build_graph is not None:
+            try:
+                graph = spec.build_graph(args)
+            except GraphSpecError as exc:
+                raise SystemExit(str(exc))
+        else:
+            graph = parse_graph(args.graph)
+        target = protocol
+        if spec.select is not None:
+            target = protocols.get(spec.select(args))
+        params = dict(spec.collect(args)) if spec.collect else {}
+        params["seed"] = args.seed
+        try:
+            outcome = target.execute(graph, params)
+        except TaskError as exc:
+            raise SystemExit(str(exc))
+        if spec.present is not None:
+            return spec.present(args, graph, outcome)
+        print(json.dumps(outcome.result, sort_keys=True))
+        return None
+
+    return handler
 
 
-def cmd_apsp(args: argparse.Namespace) -> None:
-    """``repro apsp``: Algorithm 1 end to end."""
-    graph = parse_graph(args.graph)
-    summary = core.run_apsp(graph, seed=args.seed)
-    print(f"APSP on {graph!r}")
-    _print_cost(summary.metrics)
-    print(f"diameter: {summary.diameter()}   radius: {summary.radius()}")
-    if args.show_row is not None:
-        row = summary.results[args.show_row].distances
-        print(f"distances from node {args.show_row}: "
-              f"{dict(sorted(row.items()))}")
-
-
-def cmd_ssp(args: argparse.Namespace) -> None:
-    """``repro ssp``: Algorithm 2 for a given source set."""
-    graph = parse_graph(args.graph)
-    sources = [int(s) for s in args.sources.split(",") if s]
-    summary = core.run_ssp(graph, sources, seed=args.seed)
-    print(f"S-SP on {graph!r} with S = {sorted(summary.sources)}")
-    _print_cost(summary.metrics)
-    for node in list(graph.nodes)[: args.show_nodes]:
-        print(f"node {node}: "
-              f"{dict(sorted(summary.results[node].distances.items()))}")
-
-
-def cmd_properties(args: argparse.Namespace) -> None:
-    """``repro properties``: Lemmas 2-7 exact properties."""
-    graph = parse_graph(args.graph)
-    summary = core.run_graph_properties(graph, seed=args.seed)
-    print(f"graph properties of {graph!r} (Lemmas 2-7)")
-    _print_cost(summary.metrics)
-    print(f"diameter:   {summary.diameter}")
-    print(f"radius:     {summary.radius}")
-    print(f"girth:      {summary.girth}")
-    print(f"center:     {sorted(summary.center())}")
-    print(f"peripheral: {sorted(summary.peripheral())}")
-
-
-def cmd_approx(args: argparse.Namespace) -> None:
-    """``repro approx``: Theorem 4 / Corollary 4 approximations."""
-    graph = parse_graph(args.graph)
-    summary = core.run_approx_properties(graph, args.epsilon,
-                                         seed=args.seed)
-    print(f"(x,1+{args.epsilon}) approximation on {graph!r} "
-          f"(Theorem 4 / Corollary 4)")
-    _print_cost(summary.metrics)
-    print(f"diameter estimate: {summary.diameter_estimate}")
-    print(f"radius estimate:   {summary.radius_estimate}")
-    print(f"center candidates: {sorted(summary.center_approx())}")
-
-
-def cmd_girth(args: argparse.Namespace) -> None:
-    """``repro girth``: exact (Lemma 7) or approximate (Theorem 5)."""
-    graph = parse_graph(args.graph)
-    if args.epsilon is None:
-        summary = core.run_exact_girth(graph, seed=args.seed)
-        print(f"exact girth (Lemma 7) on {graph!r}")
-    else:
-        summary = core.run_approx_girth(graph, args.epsilon,
-                                        seed=args.seed)
-        print(f"(x,1+{args.epsilon}) girth (Theorem 5) on {graph!r}")
-    _print_cost(summary.metrics)
-    print(f"girth: {summary.girth}")
-
-
-def cmd_two_vs_four(args: argparse.Namespace) -> None:
-    """``repro two-vs-four``: Algorithm 3 on a promise instance."""
-    if args.graph:
-        graph = parse_graph(args.graph)
-    elif args.family == "diameter2":
-        graph = graphs.diameter_two_random(args.n, seed=args.seed)
-    else:
-        graph = graphs.diameter_four_blobs(args.n, seed=args.seed)
-    summary = core.run_two_vs_four(graph, seed=args.seed)
-    print(f"2-vs-4 (Algorithm 3 / Theorem 7) on {graph!r}")
-    _print_cost(summary.metrics)
-    print(f"verdict: diameter {summary.diameter} "
-          f"(branch: {summary.branch})")
-
-
-def cmd_baseline(args: argparse.Namespace) -> None:
-    """``repro baseline``: a Section 3.1 strawman vs Algorithm 1."""
-    graph = parse_graph(args.graph)
-    summary = core.run_baseline_apsp(graph, args.algorithm,
-                                     seed=args.seed)
-    print(f"baseline '{args.algorithm}' APSP on {graph!r} (Section 3.1)")
-    _print_cost(summary.metrics)
-    ours = core.run_apsp(graph, seed=args.seed)
-    print(f"Algorithm 1 on the same graph: {ours.rounds} rounds "
-          f"({summary.rounds / max(1, ours.rounds):.1f}x)")
+def _add_protocol_parsers(sub, common) -> None:
+    """Create one run subcommand per registry entry with a presenter."""
+    for protocol in protocols.protocols():
+        spec = protocol.cli
+        if spec is None or spec.present is None:
+            continue
+        p = sub.add_parser(protocol.name, help=spec.help)
+        if spec.build_graph is None:
+            p.add_argument("graph")
+        for arg in spec.args:
+            kwargs = {"default": arg.default}
+            if arg.kind == "int":
+                kwargs["type"] = int
+            elif arg.kind == "float":
+                kwargs["type"] = float
+            if arg.choices is not None:
+                kwargs["choices"] = list(arg.choices)
+            if arg.required:
+                kwargs["required"] = True
+            if arg.help:
+                kwargs["help"] = arg.help
+            p.add_argument(arg.flag, **kwargs)
+        common(p)
+        p.set_defaults(func=_make_protocol_command(protocol))
 
 
 def cmd_experiment(args: argparse.Namespace) -> None:
@@ -209,7 +177,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     Returns the process exit code: 0 when every task produced a result,
     1 when any task failed (the per-task errors are in the JSONL store,
-    so a partial campaign is still fully recorded).
+    so a partial campaign is still fully recorded).  Unknown algorithms
+    and malformed params are rejected up front at spec expansion —
+    before any worker spawns — with a nonzero exit.
     """
     from . import harness
 
@@ -250,19 +220,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.trace:
         spec = spec.with_trace()
     out = args.out or f"{spec.name}.jsonl"
-    summary = harness.run_campaign(
-        spec,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        store_path=out,
-        append=args.append,
-        show_progress=not args.quiet,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        max_failures=args.max_failures,
-        fail_fast=args.fail_fast,
-    )
+    try:
+        summary = harness.run_campaign(
+            spec,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            store_path=out,
+            append=args.append,
+            show_progress=not args.quiet,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            max_failures=args.max_failures,
+            fail_fast=args.fail_fast,
+        )
+    except harness.SpecError as exc:
+        raise SystemExit(str(exc))
     print(summary.describe())
     print(f"results -> {out}")
     if summary.failures:
@@ -320,9 +293,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Algorithms ``repro trace run`` can capture.
-_TRACE_ALGORITHMS = ("apsp", "ssp", "properties", "girth", "approx",
-                     "two-vs-four", "leader")
+def _traceable_names() -> List[str]:
+    """Protocols ``repro trace run`` can capture (registry-derived)."""
+    return [
+        p.name for p in protocols.protocols()
+        if "trace" in p.capabilities
+    ]
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -332,7 +308,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     ``--export``: ``summary`` prints costs, invariant verdicts and the
     round x edge heatmap (exit 1 if an invariant fails); ``jsonl``
     writes the ``repro-trace/1`` stream; ``chrome`` writes Trace Event
-    Format JSON loadable in ``about://tracing`` / Perfetto.
+    Format JSON loadable in ``about://tracing`` / Perfetto.  The
+    algorithm choices are the registry entries carrying the ``trace``
+    capability.
     """
     from . import obs
 
@@ -343,29 +321,21 @@ def cmd_trace(args: argparse.Namespace) -> int:
             faults = json.loads(args.faults)
         except json.JSONDecodeError as exc:
             raise SystemExit(f"--faults: not valid JSON ({exc})")
-    kwargs = dict(seed=args.seed, policy=args.policy, faults=faults)
-    with obs.capture() as session:
-        if args.algorithm == "apsp":
-            core.run_apsp(graph, **kwargs)
-        elif args.algorithm == "ssp":
-            sources = _csv(args.sources, int) or [1]
-            core.run_ssp(graph, sources, **kwargs)
-        elif args.algorithm == "properties":
-            core.run_graph_properties(graph, **kwargs)
-        elif args.algorithm == "girth":
-            if args.epsilon is None:
-                core.run_exact_girth(graph, **kwargs)
-            else:
-                core.run_approx_girth(graph, args.epsilon, **kwargs)
-        elif args.algorithm == "approx":
-            core.run_approx_properties(
-                graph, args.epsilon if args.epsilon is not None else 0.5,
-                **kwargs,
-            )
-        elif args.algorithm == "two-vs-four":
-            core.run_two_vs_four(graph, **kwargs)
-        else:
-            core.run_leader_election(graph, **kwargs)
+    protocol = protocols.get(args.algorithm)
+    spec = protocol.cli
+    target = protocol
+    if spec is not None and spec.select is not None:
+        target = protocols.get(spec.select(args))
+        spec = target.cli or spec
+    params = {}
+    if spec is not None and spec.trace_collect is not None:
+        params = dict(spec.trace_collect(args))
+    params.update(seed=args.seed, policy=args.policy, faults=faults)
+    try:
+        with obs.capture() as session:
+            target.execute(graph, params)
+    except TaskError as exc:
+        raise SystemExit(str(exc))
     trace = session.build_trace(
         0, label=f"{args.algorithm} {args.graph}"
     )
@@ -394,18 +364,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_leader(args: argparse.Namespace) -> None:
-    """``repro leader``: min-id election."""
-    graph = parse_graph(args.graph)
-    results, metrics = core.run_leader_election(graph, seed=args.seed)
-    leader = next(iter(results.values())).leader
-    print(f"leader election on {graph!r}")
-    _print_cost(metrics)
-    print(f"leader: {leader}")
-
-
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse command tree."""
+    """Construct the argparse command tree.
+
+    Algorithm subcommands and trace choices are generated from the
+    protocol registry; only the pipeline commands (``experiment``,
+    ``campaign``, ``trace``, ``bench``) are declared here.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Holzer-Wattenhofer PODC'12 reproduction CLI",
@@ -415,63 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p):
         p.add_argument("--seed", type=int, default=0)
 
-    p = sub.add_parser("apsp", help="Algorithm 1: APSP in O(n)")
-    p.add_argument("graph")
-    p.add_argument("--show-row", type=int, default=None,
-                   help="print one node's distance row")
-    common(p)
-    p.set_defaults(func=cmd_apsp)
-
-    p = sub.add_parser("ssp", help="Algorithm 2: S-SP in O(|S|+D)")
-    p.add_argument("graph")
-    p.add_argument("--sources", required=True,
-                   help="comma-separated source ids")
-    p.add_argument("--show-nodes", type=int, default=3)
-    common(p)
-    p.set_defaults(func=cmd_ssp)
-
-    p = sub.add_parser("properties",
-                       help="Lemmas 2-7: all exact properties")
-    p.add_argument("graph")
-    common(p)
-    p.set_defaults(func=cmd_properties)
-
-    p = sub.add_parser("approx",
-                       help="Theorem 4 / Corollary 4: (x,1+eps)")
-    p.add_argument("graph")
-    p.add_argument("--epsilon", type=float, default=0.5)
-    common(p)
-    p.set_defaults(func=cmd_approx)
-
-    p = sub.add_parser("girth", help="Lemma 7 / Theorem 5")
-    p.add_argument("graph")
-    p.add_argument("--epsilon", type=float, default=None,
-                   help="approximate with this epsilon (omit for exact)")
-    common(p)
-    p.set_defaults(func=cmd_girth)
-
-    p = sub.add_parser("two-vs-four",
-                       help="Algorithm 3 / Theorem 7 (promise input)")
-    p.add_argument("--graph", default=None)
-    p.add_argument("--family", choices=["diameter2", "diameter4"],
-                   default="diameter2")
-    p.add_argument("--n", type=int, default=60)
-    common(p)
-    p.set_defaults(func=cmd_two_vs_four)
-
-    p = sub.add_parser("baseline",
-                       help="Section 3.1 strawmen APSP")
-    p.add_argument("graph")
-    p.add_argument("--algorithm", default="distance-vector",
-                   choices=["sequential-bfs", "distance-vector",
-                            "distance-vector-delta", "link-state"])
-    common(p)
-    p.set_defaults(func=cmd_baseline)
-
-    p = sub.add_parser("leader", help="min-id leader election in O(n)")
-    p.add_argument("graph")
-    common(p)
-    p.set_defaults(func=cmd_leader)
+    _add_protocol_parsers(sub, common)
 
     p = sub.add_parser(
         "experiment",
@@ -506,7 +415,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", default="0",
                    help="comma-separated simulator seeds")
     p.add_argument("--algorithms", default="apsp",
-                   help="comma-separated algorithm names")
+                   help="comma-separated algorithm names "
+                        "(see repro.protocols)")
     p.add_argument("--policies", default="strict",
                    help="comma-separated bandwidth policies")
     p.add_argument("--salt", default="",
@@ -564,7 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
                "invariant (Lemma 1, Remark 3, Theorem 3) fails on the "
                "trace.",
     )
-    pr.add_argument("algorithm", choices=list(_TRACE_ALGORITHMS),
+    pr.add_argument("algorithm", choices=_traceable_names(),
                     help="entry point to trace")
     pr.add_argument("graph", help="graph spec (same syntax as run commands)")
     pr.add_argument("--export", choices=["summary", "jsonl", "chrome"],

@@ -53,6 +53,7 @@ from .diameter import (
     two_vs_four,
 )
 from .dominating import DomInfo, compute_dominating_set, run_dominating_set
+from .engine import execute
 from .eccentricity import (
     approx_eccentricities,
     exact_eccentricities,
@@ -159,6 +160,7 @@ __all__ = [
     "exact_eccentricities",
     "exact_peripheral",
     "exact_radius",
+    "execute",
     "prt_diameter",
     "relabel_for_apsp",
     "remark1_diameter",

@@ -42,10 +42,10 @@ from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 from ..congest.errors import GraphError
 from ..congest.metrics import RunMetrics
 from ..congest.faults import FaultsLike
-from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
 from .apsp import ROOT, apsp_phase, validate_apsp_input
+from .engine import execute
 from .dominating import compute_dominating_set
 from .ssp import ssp_main_loop
 from .subroutines import (
@@ -184,16 +184,16 @@ def run_approx_properties(
     if epsilon <= 0:
         raise GraphError("epsilon must be positive")
     inputs = {uid: epsilon for uid in graph.nodes}
-    network = Network(
+    outcome = execute(
         graph,
         ApproxEccNode,
+        validate=False,  # checked above, before the epsilon check
         inputs=inputs,
         seed=seed,
         bandwidth_bits=bandwidth_bits,
         policy=policy,
         faults=faults,
     )
-    outcome = network.run()
     return ApproxPropertySummary(
         epsilon=epsilon,
         results=outcome.results,
@@ -247,13 +247,14 @@ def run_remark1(
     *,
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
+    faults: FaultsLike = None,
 ) -> Tuple[Dict[int, Remark1Result], RunMetrics]:
     """Run the Remark 1 (×,2) estimator; ``O(D)`` rounds."""
-    validate_apsp_input(graph)
-    network = Network(
-        graph, Remark1Node, seed=seed, bandwidth_bits=bandwidth_bits
+    outcome = execute(
+        graph, Remark1Node, seed=seed, bandwidth_bits=bandwidth_bits,
+        policy=policy, faults=faults,
     )
-    outcome = network.run()
     return outcome.results, outcome.metrics
 
 

@@ -37,18 +37,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..congest.errors import GraphError
 from ..congest.faults import FaultsLike
-from ..congest.network import Network
 from ..congest.node import NodeAlgorithm, NodeContext
 from ..graphs.graph import Graph
 from ..obs.tracer import active as obs_active
+from .engine import ROOT, execute, validate_apsp_input
 from .messages import BfsToken, DownMsg, PebbleMsg
 from .results import ApspResult, ApspSummary
 from .subroutines import build_bfs_tree
-
-#: The distinguished root (the paper assumes a node with ID 1 exists).
-ROOT = 1
 
 
 class ApspPhaseOutcome:
@@ -266,9 +262,8 @@ def run_apsp(
     With ``faults`` set the run may degrade gracefully to partial
     results (see :mod:`repro.congest.faults`).
     """
-    validate_apsp_input(graph)
     factory = ApspGirthNode if collect_girth else ApspNode
-    network = Network(
+    outcome = execute(
         graph,
         factory,
         seed=seed,
@@ -277,19 +272,4 @@ def run_apsp(
         track_edges=track_edges,
         faults=faults,
     )
-    outcome = network.run()
     return ApspSummary(results=outcome.results, metrics=outcome.metrics)
-
-
-def validate_apsp_input(graph: Graph) -> None:
-    """Check the structural assumptions shared by the paper's algorithms."""
-    if not graph.has_node(ROOT):
-        raise GraphError(
-            "the paper assumes a node with ID 1 exists; relabel the graph "
-            "(Graph.relabeled()) before running"
-        )
-    if not graph.is_connected():
-        raise GraphError(
-            "distances are undefined on a disconnected graph; APSP "
-            "requires a connected input"
-        )

@@ -38,10 +38,10 @@ from typing import Deque, Dict, Iterable, Optional, Set, Tuple
 
 from ..congest.errors import GraphError
 from ..congest.faults import FaultsLike
-from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
 from .apsp import ROOT, ApspPhaseOutcome, _process_waves, validate_apsp_input
+from .engine import execute
 from .messages import BfsToken, DvMsg, EdgeMsg
 from .results import ApspResult, ApspSummary
 from .subroutines import (
@@ -334,8 +334,9 @@ def run_baseline_apsp(
             f"unknown baseline {algorithm!r}; expected one of "
             f"{sorted(_BASELINES)}"
         )
-    outcome = Network(
-        graph, factory, seed=seed, bandwidth_bits=bandwidth_bits,
-        policy=policy, max_rounds=200 * graph.n + 20000, faults=faults,
-    ).run()
+    outcome = execute(
+        graph, factory, validate=False, seed=seed,
+        bandwidth_bits=bandwidth_bits, policy=policy,
+        max_rounds=200 * graph.n + 20000, faults=faults,
+    )
     return ApspSummary(results=outcome.results, metrics=outcome.metrics)

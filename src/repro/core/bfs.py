@@ -22,12 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
 
+from ..congest.faults import FaultsLike
 from ..congest.message import INFINITY, IdMessage, ValueMessage
 from ..congest.metrics import RunMetrics
-from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
-from .apsp import ROOT, validate_apsp_input
+from .apsp import ROOT
+from .engine import execute
 from .messages import BfsToken
 from .ssp import ssp_main_loop
 from .subroutines import (
@@ -66,12 +67,13 @@ class BfsNode(NodeAlgorithm):
 
 
 def run_bfs(graph: Graph, *, seed: int = 0,
-            bandwidth_bits: Optional[int] = None):
+            bandwidth_bits: Optional[int] = None,
+            policy: str = "strict", faults: FaultsLike = None):
     """One BFS + echo from node 1; returns ``(results, metrics)``."""
-    validate_apsp_input(graph)
-    outcome = Network(
-        graph, BfsNode, seed=seed, bandwidth_bits=bandwidth_bits
-    ).run()
+    outcome = execute(
+        graph, BfsNode, seed=seed, bandwidth_bits=bandwidth_bits,
+        policy=policy, faults=faults,
+    )
     return outcome.results, outcome.metrics
 
 
@@ -119,12 +121,13 @@ class TreeCheckNode(NodeAlgorithm):
 
 
 def run_tree_check(graph: Graph, *, seed: int = 0,
-                   bandwidth_bits: Optional[int] = None):
+                   bandwidth_bits: Optional[int] = None,
+                   policy: str = "strict", faults: FaultsLike = None):
     """Claim 1's tree test; returns ``(is_tree: bool, metrics)``."""
-    validate_apsp_input(graph)
-    outcome = Network(
-        graph, TreeCheckNode, seed=seed, bandwidth_bits=bandwidth_bits
-    ).run()
+    outcome = execute(
+        graph, TreeCheckNode, seed=seed, bandwidth_bits=bandwidth_bits,
+        policy=policy, faults=faults,
+    )
     verdicts = set(outcome.results.values())
     if len(verdicts) != 1:
         raise AssertionError("nodes disagree on tree-ness")
@@ -167,15 +170,15 @@ class KBfsNode(NodeAlgorithm):
 
 
 def run_k_bfs(graph: Graph, sources: Iterable[int], k: int, *,
-              seed: int = 0, bandwidth_bits: Optional[int] = None):
+              seed: int = 0, bandwidth_bits: Optional[int] = None,
+              policy: str = "strict", faults: FaultsLike = None):
     """Partial k-BFS from ``sources``; returns ``(results, metrics)``."""
-    validate_apsp_input(graph)
     source_set = frozenset(sources)
     inputs = {uid: (k, uid in source_set) for uid in graph.nodes}
-    outcome = Network(
+    outcome = execute(
         graph, KBfsNode, inputs=inputs, seed=seed,
-        bandwidth_bits=bandwidth_bits,
-    ).run()
+        bandwidth_bits=bandwidth_bits, policy=policy, faults=faults,
+    )
     return outcome.results, outcome.metrics
 
 
@@ -247,11 +250,11 @@ class AllTwoBfsNode(NodeAlgorithm):
 
 
 def run_all_two_bfs(graph: Graph, *, seed: int = 0,
-                    bandwidth_bits: Optional[int] = None):
+                    bandwidth_bits: Optional[int] = None,
+                    policy: str = "strict", faults: FaultsLike = None):
     """Compute all 2-BFS trees; returns ``(results, metrics)``."""
-    validate_apsp_input(graph)
-    outcome = Network(
+    outcome = execute(
         graph, AllTwoBfsNode, seed=seed, bandwidth_bits=bandwidth_bits,
-        max_rounds=40 * graph.n + 2000,
-    ).run()
+        policy=policy, faults=faults, max_rounds=40 * graph.n + 2000,
+    )
     return outcome.results, outcome.metrics

@@ -36,10 +36,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..congest.errors import GraphError
-from ..congest.network import Network
+from ..congest.faults import FaultsLike
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
-from .apsp import ROOT, validate_apsp_input
+from .apsp import ROOT
+from .engine import execute
 from .messages import CensusMsg, DomAnnounceMsg, DominatorMsg
 from .subroutines import TreeInfo, build_bfs_tree, wait_until_round
 
@@ -161,19 +162,23 @@ def run_dominating_set(
     *,
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
+    faults: FaultsLike = None,
 ):
     """Run the standalone k-dominating-set computation.
 
     Returns ``(per-node DomInfo dict, RunMetrics)``.
     """
-    validate_apsp_input(graph)
+    if int(k) < 1:
+        raise GraphError(f"k must be a positive integer, got {k!r}")
     inputs = {uid: k for uid in graph.nodes}
-    network = Network(
+    outcome = execute(
         graph,
         DominatingSetNode,
         inputs=inputs,
         seed=seed,
         bandwidth_bits=bandwidth_bits,
+        policy=policy,
+        faults=faults,
     )
-    outcome = network.run()
     return outcome.results, outcome.metrics

@@ -1,0 +1,79 @@
+"""Shared run plumbing for every ``core.run_*`` entry point.
+
+Each of the paper's entry points used to validate its input, build a
+:class:`~repro.congest.network.Network` with the same half-dozen
+keyword arguments, and call ``.run()`` — seventeen copies of the same
+boilerplate, each one a place for a new cross-cutting kwarg (``policy``,
+``faults``, ``bandwidth_bits``) to be forgotten.  :func:`execute` is the
+single definition: input validation, Network construction and the run
+itself happen here and nowhere else, so a new simulator-wide knob is
+threaded through exactly once.
+
+The structural checks (:func:`validate_apsp_input`) also live here —
+they are shared by every algorithm that builds the paper's ``T_1`` —
+and are re-exported from :mod:`repro.core.apsp` for compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from ..congest.errors import GraphError
+from ..congest.faults import FaultsLike
+from ..congest.network import AlgorithmFactory, Network, RunResult
+from ..graphs.graph import Graph
+
+#: The distinguished root (the paper assumes a node with ID 1 exists).
+ROOT = 1
+
+
+def validate_apsp_input(graph: Graph) -> None:
+    """Check the structural assumptions shared by the paper's algorithms."""
+    if not graph.has_node(ROOT):
+        raise GraphError(
+            "the paper assumes a node with ID 1 exists; relabel the graph "
+            "(Graph.relabeled()) before running"
+        )
+    if not graph.is_connected():
+        raise GraphError(
+            "distances are undefined on a disconnected graph; APSP "
+            "requires a connected input"
+        )
+
+
+def execute(
+    graph: Graph,
+    factory: AlgorithmFactory,
+    *,
+    inputs: Optional[Mapping[int, Any]] = None,
+    seed: int = 0,
+    bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
+    track_edges: bool = False,
+    faults: FaultsLike = None,
+    max_rounds: Optional[int] = None,
+    validate: bool = True,
+) -> RunResult:
+    """Validate, build the :class:`Network`, run it, return the outcome.
+
+    This is the one place seed/policy/bandwidth/fault handling is
+    defined; every ``run_*`` entry point routes through it.  Set
+    ``validate=False`` for algorithms that do not require the paper's
+    node-1 assumption (leader election does its own connectivity
+    check).  All other keywords are forwarded verbatim to
+    :class:`~repro.congest.network.Network`.
+    """
+    if validate:
+        validate_apsp_input(graph)
+    network = Network(
+        graph,
+        factory,
+        inputs=inputs,
+        seed=seed,
+        bandwidth_bits=bandwidth_bits,
+        policy=policy,
+        track_edges=track_edges,
+        faults=faults,
+        max_rounds=max_rounds,
+    )
+    return network.run()

@@ -40,10 +40,10 @@ from ..congest.errors import GraphError
 from ..congest.message import INFINITY
 from ..congest.metrics import RunMetrics
 from ..congest.faults import FaultsLike
-from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
 from .apsp import ROOT, apsp_phase, validate_apsp_input
+from .engine import execute
 from .dominating import compute_dominating_set
 from .properties import GIRTH_INFINITE, run_graph_properties
 from .ssp import ssp_main_loop
@@ -169,9 +169,8 @@ def run_approx_girth(
     if epsilon <= 0:
         raise GraphError("epsilon must be positive")
     inputs = {uid: epsilon for uid in graph.nodes}
-    network = Network(
-        graph, GirthApproxNode, inputs=inputs, seed=seed,
+    outcome = execute(
+        graph, GirthApproxNode, validate=False, inputs=inputs, seed=seed,
         bandwidth_bits=bandwidth_bits, policy=policy, faults=faults,
     )
-    outcome = network.run()
     return GirthSummary(results=outcome.results, metrics=outcome.metrics)

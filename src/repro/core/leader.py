@@ -37,9 +37,9 @@ from typing import Dict, Mapping, Optional, Tuple
 from ..congest.message import IdMessage
 from ..congest.metrics import RunMetrics
 from ..congest.faults import FaultsLike
-from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
+from .engine import execute
 
 
 @dataclass(frozen=True)
@@ -105,10 +105,10 @@ def run_leader_election(
         from ..congest.errors import GraphError
 
         raise GraphError("leader election requires a connected graph")
-    outcome = Network(
-        graph, LeaderElectionNode, seed=seed,
+    outcome = execute(
+        graph, LeaderElectionNode, validate=False, seed=seed,
         bandwidth_bits=bandwidth_bits, policy=policy, faults=faults,
-    ).run()
+    )
     return outcome.results, outcome.metrics
 
 

@@ -24,9 +24,9 @@ from typing import Optional
 
 from ..congest.message import INFINITY
 from ..congest.faults import FaultsLike
-from ..congest.network import Network
 from ..graphs.graph import Graph
-from .apsp import ApspNode, validate_apsp_input
+from .apsp import ApspNode
+from .engine import execute
 from .results import PropertyResult, PropertySummary
 from .subroutines import aggregate_and_share, combine_max, combine_min
 
@@ -97,9 +97,8 @@ def run_graph_properties(
     faults: FaultsLike = None,
 ) -> PropertySummary:
     """Compute all Lemma 2–7 properties in one ``O(n)``-round run."""
-    validate_apsp_input(graph)
     factory = PropertyNode if include_girth else PropertyNodeNoGirth
-    network = Network(
+    outcome = execute(
         graph,
         factory,
         seed=seed,
@@ -108,5 +107,4 @@ def run_graph_properties(
         track_edges=track_edges,
         faults=faults,
     )
-    outcome = network.run()
     return PropertySummary(results=outcome.results, metrics=outcome.metrics)

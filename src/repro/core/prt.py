@@ -35,12 +35,13 @@ import math
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from ..congest.faults import FaultsLike
 from ..congest.message import INFINITY
 from ..congest.metrics import RunMetrics
-from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
 from .apsp import ROOT, validate_apsp_input
+from .engine import execute
 from .girth import GirthSummary, run_approx_girth, run_exact_girth
 from .ssp import ssp_main_loop
 from .subroutines import (
@@ -154,12 +155,14 @@ def run_prt_diameter(
     *,
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
+    faults: FaultsLike = None,
 ) -> DiameterEstimateSummary:
     """Run the (×,3/2) diameter estimator (Section 3.6 companion)."""
-    validate_apsp_input(graph)
-    outcome = Network(
-        graph, Prt32Node, seed=seed, bandwidth_bits=bandwidth_bits
-    ).run()
+    outcome = execute(
+        graph, Prt32Node, seed=seed, bandwidth_bits=bandwidth_bits,
+        policy=policy, faults=faults,
+    )
     return DiameterEstimateSummary(results=outcome.results,
                                    metrics=outcome.metrics)
 

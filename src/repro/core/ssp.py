@@ -55,11 +55,11 @@ from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..congest.errors import GraphError
 from ..congest.faults import FaultsLike
-from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
 from ..obs.tracer import active as obs_active
 from .apsp import ROOT, validate_apsp_input
+from .engine import execute
 from .messages import OfferMsg
 from .results import SspResult, SspSummary
 from .subroutines import TreeInfo, build_bfs_tree
@@ -306,9 +306,10 @@ def run_ssp(
         raise GraphError(f"sources {sorted(unknown)} are not graph nodes")
     inputs = {uid: (uid in source_set) for uid in graph.nodes}
     factory = SspPaperRuleNode if priority == PRIORITY_ID else SspNode
-    network = Network(
+    result = execute(
         graph,
         factory,
+        validate=False,  # checked above, before the source-set check
         inputs=inputs,
         seed=seed,
         bandwidth_bits=bandwidth_bits,
@@ -316,7 +317,6 @@ def run_ssp(
         track_edges=track_edges,
         faults=faults,
     )
-    result = network.run()
     return SspSummary(
         sources=source_set,
         results=result.results,

@@ -12,11 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Tuple
 
+from ..congest.faults import FaultsLike
 from ..congest.metrics import RunMetrics
-from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
-from .apsp import ROOT, validate_apsp_input
+from .apsp import ROOT
+from .engine import execute
 from .messages import DownMsg, PebbleMsg
 from .subroutines import build_bfs_tree
 
@@ -88,11 +89,12 @@ def run_pebble_traversal(
     *,
     seed: int = 0,
     bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
+    faults: FaultsLike = None,
 ) -> Tuple[Mapping[int, TraversalResult], RunMetrics]:
     """Traverse ``T_1`` with a pebble; returns ``(results, metrics)``."""
-    validate_apsp_input(graph)
-    outcome = Network(
+    outcome = execute(
         graph, PebbleTraversalNode, seed=seed,
-        bandwidth_bits=bandwidth_bits,
-    ).run()
+        bandwidth_bits=bandwidth_bits, policy=policy, faults=faults,
+    )
     return outcome.results, outcome.metrics

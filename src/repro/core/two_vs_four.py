@@ -33,11 +33,11 @@ from typing import Mapping, Optional
 from ..congest.message import INFINITY
 from ..congest.metrics import RunMetrics
 from ..congest.faults import FaultsLike
-from ..congest.network import Network
 from ..congest.node import NodeAlgorithm
 from ..graphs.graph import Graph
 from ..obs.tracer import active as obs_active
-from .apsp import ROOT, validate_apsp_input
+from .apsp import ROOT
+from .engine import execute
 from .ssp import ssp_main_loop
 from .subroutines import (
     aggregate_and_share,
@@ -153,10 +153,9 @@ def run_two_vs_four(
     faults: FaultsLike = None,
 ) -> TwoVsFourSummary:
     """Run Algorithm 3 on a graph promised to have diameter 2 or 4."""
-    validate_apsp_input(graph)
-    outcome = Network(
+    outcome = execute(
         graph, TwoVsFourNode, seed=seed, bandwidth_bits=bandwidth_bits,
         policy=policy, faults=faults,
-    ).run()
+    )
     return TwoVsFourSummary(results=outcome.results,
                             metrics=outcome.metrics)

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from ..core.approx import run_approx_properties, run_remark1
-from ..core.apsp import run_apsp
 from ..graphs import diameter, dumbbell_with_path, radius
+from ..protocols import run as run_protocol
 from .base import ExperimentResult, experiment
 
 D_SWEEP = {
@@ -30,8 +29,8 @@ def e6_approx_d_sweep(scale: str) -> ExperimentResult:
     )
     for graph in d_sweep_instances(scale):
         d = diameter(graph)
-        exact_rounds = run_apsp(graph).rounds
-        summary = run_approx_properties(graph, 0.5)
+        exact_rounds = run_protocol("apsp", graph).summary.rounds
+        summary = run_protocol("approx", graph, {"epsilon": 0.5}).summary
         bound = graph.n / d + d
         ratio = summary.rounds / bound
         result.rows.append((
@@ -60,7 +59,9 @@ def e6b_epsilon_tradeoff(scale: str) -> ExperimentResult:
     )
     epsilons = [0.5, 2.0] if scale == "quick" else [0.25, 0.5, 1.0, 2.0]
     for epsilon in epsilons:
-        summary = run_approx_properties(graph, epsilon)
+        summary = run_protocol(
+            "approx", graph, {"epsilon": epsilon}
+        ).summary
         sample = next(iter(summary.results.values()))
         result.rows.append((
             epsilon, sample.k, sample.dom_size,
@@ -89,7 +90,7 @@ def e13_remark1(scale: str) -> ExperimentResult:
     for graph in d_sweep_instances(scale):
         d = diameter(graph)
         r = radius(graph)
-        results, metrics = run_remark1(graph)
+        results, metrics = run_protocol("remark1", graph).summary
         sample = next(iter(results.values()))
         result.require("diam-factor-2",
                        d <= sample.diameter_estimate <= 2 * d)

@@ -298,6 +298,7 @@ def _ensure_loaded() -> None:
         prt_exp,
         ssp_exp,
         two_vs_four_exp,
+        weighted_exp,
     )
 
 

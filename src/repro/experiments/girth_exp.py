@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from ..core.girth import run_approx_girth, run_exact_girth
 from ..graphs import (
     cycle_graph,
     diameter,
@@ -11,6 +10,7 @@ from ..graphs import (
     lollipop_graph,
     torus_graph,
 )
+from ..protocols import run as run_protocol
 from .base import ExperimentResult, experiment, fit_loglog_slope
 
 SWEEPS = {"quick": [24, 48], "paper": [24, 48, 72, 96]}
@@ -31,7 +31,7 @@ def e5_exact_girth(scale: str) -> ExperimentResult:
             ("lollipop", lollipop_graph(6, n - 6)),
             ("torus", torus_graph(4, max(3, n // 4))),
         ]:
-            summary = run_exact_girth(graph)
+            summary = run_protocol("girth", graph).summary
             want = girth(graph)
             result.require("girth-exact", summary.girth == want)
             result.rows.append((
@@ -69,8 +69,10 @@ def e7_approx_girth(scale: str) -> ExperimentResult:
         instances.insert(1, ("cycle96", cycle_graph(96)))
     for family, graph in instances:
         want = girth(graph)
-        exact = run_exact_girth(graph)
-        approx = run_approx_girth(graph, 0.5)
+        exact = run_protocol("girth", graph).summary
+        approx = run_protocol(
+            "girth-approx", graph, {"epsilon": 0.5}
+        ).summary
         result.require("within-1.5x",
                        want <= approx.girth <= 1.5 * want)
         phases = next(iter(approx.results.values())).phases

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from ..core.bfs import run_all_two_bfs
-from ..core.properties import run_graph_properties
 from ..graphs import (
     communication_lower_bound_bits,
     cut_width,
@@ -14,6 +12,7 @@ from ..graphs import (
     random_disjointness_instance,
     random_membership_instance,
 )
+from ..protocols import run as run_protocol
 from .base import ExperimentResult, experiment
 
 P_SWEEPS = {"quick": [3, 6], "paper": [3, 5, 7, 9]}
@@ -31,9 +30,10 @@ def e9a_cut_saturation(scale: str) -> ExperimentResult:
     for p in P_SWEEPS[scale]:
         x, y = random_disjointness_instance(p, intersecting=False, seed=p)
         gadget = diameter_2_vs_3(p, x, y)
-        summary = run_graph_properties(
-            gadget.graph, include_girth=False, track_edges=True
-        )
+        summary = run_protocol(
+            "properties", gadget.graph,
+            {"include_girth": False, "track_edges": True},
+        ).summary
         result.require("diameter-planted",
                        summary.diameter == gadget.planted_diameter)
         crossed = summary.metrics.bits_across_cut(gadget.alice_side)
@@ -67,8 +67,9 @@ def e9b_gap2_diameters(scale: str) -> ExperimentResult:
             )
             gadget = diameter_gap2_family(8, 4, xs, ys)
             measured = diameter(gadget.graph)
-            summary = run_graph_properties(gadget.graph,
-                                           include_girth=False)
+            summary = run_protocol(
+                "properties", gadget.graph, {"include_girth": False}
+            ).summary
             result.require(
                 "diameter-planted",
                 summary.diameter == measured == gadget.planted_diameter,
@@ -99,9 +100,9 @@ def e10_two_bfs_bandwidth(scale: str) -> ExperimentResult:
     bandwidths = [64, 512] if scale == "quick" else [64, 128, 256, 512]
     measured = []
     for bandwidth in bandwidths:
-        results, metrics = run_all_two_bfs(
-            gadget.graph, bandwidth_bits=bandwidth
-        )
+        results, metrics = run_protocol(
+            "all-two-bfs", gadget.graph, bandwidth_bits=bandwidth
+        ).summary
         verdict = next(iter(results.values())).all_trees_complete
         result.require(
             "reduction-verdict",

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from ..core.apsp import run_apsp
-from ..core.properties import run_graph_properties
 from ..graphs import (
     center,
     diameter,
@@ -12,6 +10,7 @@ from ..graphs import (
     radius,
     torus_graph,
 )
+from ..protocols import run as run_protocol
 from .base import ExperimentResult, experiment, fit_loglog_slope
 
 SWEEPS = {"quick": [20, 40], "paper": [30, 60, 90, 120]}
@@ -36,7 +35,9 @@ def e3_exact_properties(scale: str) -> ExperimentResult:
     points = []
     for n in SWEEPS[scale]:
         graph = instance(n)
-        summary = run_graph_properties(graph, include_girth=False)
+        summary = run_protocol(
+            "properties", graph, {"include_girth": False}
+        ).summary
         result.require("diameter-exact",
                        summary.diameter == diameter(graph))
         result.require("radius-exact", summary.radius == radius(graph))
@@ -72,10 +73,10 @@ def e4_aggregation_overhead(scale: str) -> ExperimentResult:
     )
     for n in SWEEPS[scale]:
         graph = torus_graph(6, max(3, n // 6))
-        apsp_rounds = run_apsp(graph).rounds
-        props_rounds = run_graph_properties(
-            graph, include_girth=False
-        ).rounds
+        apsp_rounds = run_protocol("apsp", graph).summary.rounds
+        props_rounds = run_protocol(
+            "properties", graph, {"include_girth": False}
+        ).summary.rounds
         overhead = props_rounds - apsp_rounds
         d = diameter(graph)
         result.rows.append((

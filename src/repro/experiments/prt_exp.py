@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from ..core.approx import run_approx_properties
 from ..core.prt import (
     combined_diameter_estimate,
     combined_girth_estimate,
-    run_prt_diameter,
 )
 from ..graphs import (
     cycle_graph,
@@ -16,6 +14,7 @@ from ..graphs import (
     girth,
     torus_graph,
 )
+from ..protocols import run as run_protocol
 from .base import ExperimentResult, experiment
 
 
@@ -41,9 +40,9 @@ def e14_corollary1(scale: str) -> ExperimentResult:
     )
     for name, graph in d_sweep(scale):
         d = diameter(graph)
-        prt = run_prt_diameter(graph)
+        prt = run_protocol("prt-diameter", graph).summary
         result.require("prt-band", (2 * d) // 3 <= prt.estimate <= d)
-        ours = run_approx_properties(graph, 0.5)
+        ours = run_protocol("approx", graph, {"epsilon": 0.5}).summary
         result.require("hw-band",
                        d <= ours.diameter_estimate <= 1.5 * d)
         combined = combined_diameter_estimate(graph)

@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import math
 
-from ..core.ssp import run_ssp
 from ..graphs import diameter, dumbbell_with_path, torus_graph
+from ..protocols import run as run_protocol
 from .base import ExperimentResult, experiment
 
 SIZE_SWEEPS = {"quick": [1, 10, 30], "paper": [1, 5, 10, 20, 40, 60]}
@@ -25,7 +25,9 @@ def e2_ssp_rounds(scale: str) -> ExperimentResult:
     ratios = []
     for size in SIZE_SWEEPS[scale]:
         sources = list(graph.nodes)[:size]
-        summary = run_ssp(graph, sources)
+        summary = run_protocol(
+            "ssp", graph, {"sources": sources}
+        ).summary
         ratio = summary.rounds / (size + d)
         ratios.append(ratio)
         result.rows.append((
@@ -35,7 +37,9 @@ def e2_ssp_rounds(scale: str) -> ExperimentResult:
     for path_len in PATH_SWEEPS[scale]:
         graph = dumbbell_with_path(14, path_len)
         d = diameter(graph)
-        summary = run_ssp(graph, list(graph.nodes)[:10])
+        summary = run_protocol(
+            "ssp", graph, {"sources": list(graph.nodes)[:10]}
+        ).summary
         ratio = summary.rounds / (10 + d)
         ratios.append(ratio)
         result.rows.append((
@@ -62,7 +66,9 @@ def e12_ssp_bits(scale: str) -> ExperimentResult:
     for size in sizes:
         graph = torus_graph(6, 10)
         d = diameter(graph)
-        summary = run_ssp(graph, list(graph.nodes)[:size])
+        summary = run_protocol(
+            "ssp", graph, {"sources": list(graph.nodes)[:size]}
+        ).summary
         bound = (size + d) * graph.m * math.log2(graph.n)
         ratio = summary.metrics.bits_total / bound
         result.rows.append((

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import math
 
-from ..core.two_vs_four import degree_threshold, run_two_vs_four
+from ..core.two_vs_four import degree_threshold
 from ..graphs import diameter, diameter_four_blobs, diameter_two_random
+from ..protocols import run as run_protocol
 from .base import ExperimentResult, experiment, fit_loglog_slope
 
 SWEEPS = {"quick": [40, 120], "paper": [40, 80, 160, 240]}
@@ -26,8 +27,8 @@ def e8_two_vs_four(scale: str) -> ExperimentResult:
         g4 = diameter_four_blobs(n, seed=n)
         result.require("promise-2", diameter(g2) == 2)
         result.require("promise-4", diameter(g4) == 4)
-        s2 = run_two_vs_four(g2, seed=1)
-        s4 = run_two_vs_four(g4, seed=1)
+        s2 = run_protocol("two-vs-four", g2, seed=1).summary
+        s4 = run_protocol("two-vs-four", g4, seed=1).summary
         result.require("verdict-2", s2.diameter == 2)
         result.require("verdict-4", s4.diameter == 4)
         threshold = degree_threshold(n)

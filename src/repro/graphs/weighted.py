@@ -14,6 +14,7 @@ the honest baseline the paper's framework gives for free.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
@@ -115,6 +116,109 @@ def expand(weighted: WeightedGraph) -> Expansion:
     )
 
 
+def deterministic_weights(
+    graph: Graph,
+    max_weight: int,
+    *,
+    seed: int = 0,
+) -> WeightedGraph:
+    """Assign each edge a keyed-hash weight in ``[1, max_weight]``.
+
+    The weight of edge ``{u, v}`` depends only on ``(seed, u, v)`` via
+    BLAKE2b, so the assignment is reproducible across processes and
+    Python versions (no RNG iteration-order or ``PYTHONHASHSEED``
+    dependence) — the property campaign cache keys and benchmark
+    pinning rely on.
+    """
+    if int(max_weight) < 1:
+        raise GraphError(
+            f"max_weight must be a positive integer, got {max_weight!r}"
+        )
+    max_weight = int(max_weight)
+    weights = {}
+    for u, v in graph.edges:
+        a, b = normalize_edge(u, v)
+        digest = hashlib.blake2b(
+            f"{seed}|{a}|{b}".encode(), digest_size=8
+        ).digest()
+        weights[(a, b)] = 1 + int.from_bytes(digest, "big") % max_weight
+    return WeightedGraph(graph, weights)
+
+
+@dataclass(frozen=True)
+class WeightedApspSummary:
+    """Outcome of a weighted APSP run through the subdivision reduction.
+
+    ``distances`` covers *original* node pairs only; the round and
+    message costs are those of the expanded (unit-length) run — the
+    documented ``O(n + m·(W-1))`` price of the reduction.
+    """
+
+    distances: Mapping[int, Mapping[int, int]]
+    #: Cost counters of the run on the expansion.
+    metrics: "object"
+    #: Node count of the unit-length expansion actually simulated.
+    expanded_n: int
+    #: Largest edge weight (the reduction's blow-up factor W).
+    max_weight: int
+
+    @property
+    def rounds(self) -> int:
+        """Number of communication rounds used by the expanded run."""
+        return self.metrics.rounds
+
+    def weighted_diameter(self) -> int:
+        """Largest weighted distance between original nodes."""
+        return max(
+            (max(row.values(), default=0)
+             for row in self.distances.values()),
+            default=0,
+        )
+
+
+def run_weighted_apsp(
+    weighted: WeightedGraph,
+    *,
+    seed: int = 0,
+    bandwidth_bits: Optional[int] = None,
+    policy: str = "strict",
+    faults=None,
+) -> WeightedApspSummary:
+    """Weighted APSP: expand, run Algorithm 1, project distances back.
+
+    The full-featured entry point behind :func:`weighted_apsp` —
+    same reduction, but it returns a :class:`WeightedApspSummary`
+    carrying the run's :class:`~repro.congest.metrics.RunMetrics` and
+    accepts the simulator-wide ``policy``/``faults`` knobs, which makes
+    it registrable as a protocol (campaigns, benchmarks, CLI).
+    """
+    from ..core.apsp import run_apsp
+
+    expansion = expand(weighted)
+    summary = run_apsp(
+        expansion.unit_graph, seed=seed, bandwidth_bits=bandwidth_bits,
+        policy=policy, faults=faults,
+    )
+    if summary.metrics.nodes_crashed or summary.metrics.nodes_stalled:
+        # Partial run under fault injection: project what we have.
+        distances: Dict[int, Dict[int, int]] = {}
+    else:
+        originals = set(expansion.original_nodes)
+        distances = {
+            u: {
+                v: summary.results[u].distances[v]
+                for v in originals
+            }
+            for u in originals
+        }
+    return WeightedApspSummary(
+        distances=distances,
+        metrics=summary.metrics,
+        expanded_n=expansion.unit_graph.n,
+        max_weight=weighted.max_weight,
+    )
+
+
 def weighted_apsp(
     weighted: WeightedGraph,
     *,
@@ -126,23 +230,13 @@ def weighted_apsp(
     Returns ``(distances, rounds)`` where ``distances[u][v]`` is the
     weighted distance between *original* nodes.  Rounds are those of
     the expanded run — ``O(n + m·(W-1))`` — which is the documented
-    cost of this reduction.
+    cost of this reduction.  (Compatibility wrapper around
+    :func:`run_weighted_apsp`.)
     """
-    from ..core.apsp import run_apsp
-
-    expansion = expand(weighted)
-    summary = run_apsp(
-        expansion.unit_graph, seed=seed, bandwidth_bits=bandwidth_bits
+    summary = run_weighted_apsp(
+        weighted, seed=seed, bandwidth_bits=bandwidth_bits
     )
-    originals = set(expansion.original_nodes)
-    distances = {
-        u: {
-            v: summary.results[u].distances[v]
-            for v in originals
-        }
-        for u in originals
-    }
-    return distances, summary.rounds
+    return summary.distances, summary.rounds
 
 
 def oracle_weighted_distances(

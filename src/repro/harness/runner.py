@@ -1,10 +1,11 @@
-"""Per-task execution: algorithm name → :mod:`repro.core` entry point.
+"""Per-task execution: algorithm name → registered protocol.
 
 :func:`execute_task` is the function worker processes run.  It parses
-the task's graph spec, dispatches to the named algorithm, and returns a
-*deterministic* record — JSON-pure, independent of wall-clock, worker
-identity, process memory layout, and cache state — so that a cache hit
-and a fresh computation yield byte-identical stored records.
+the task's graph spec, dispatches through the
+:mod:`repro.protocols` registry, and returns a *deterministic* record
+— JSON-pure, independent of wall-clock, worker identity, process
+memory layout, and cache state — so that a cache hit and a fresh
+computation yield byte-identical stored records.
 
 Record shape::
 
@@ -17,233 +18,32 @@ Record shape::
 
 Campaign-level fields (content key, timing, cache provenance) are added
 by :mod:`.campaign`, outside the deterministic core.
+
+This module holds no algorithm table of its own: adapters, parameter
+validation and the degraded-run marker all live with the protocol
+declarations in :mod:`repro.protocols.builtin`.  ``TaskError`` is
+re-exported here for backwards compatibility — its class name is part
+of the stored error-record contract.
 """
 
 from __future__ import annotations
 
-import os
-import time
-from typing import Any, Callable, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List
 
-from .. import core
-from ..congest.metrics import RunMetrics
-from ..graphs.graph import Graph
 from ..graphs.specs import parse_graph
+from ..protocols import TaskError, get as get_protocol, names
 from .spec import Task
 
-#: Signature of a per-algorithm adapter.
-Adapter = Callable[[Graph, Dict[str, Any]], Tuple[Dict[str, Any], RunMetrics]]
-
-
-class TaskError(RuntimeError):
-    """A task could not be executed (bad algorithm/params)."""
-
-
-def _common(params: Dict[str, Any]) -> Dict[str, Any]:
-    """Pop the kwargs every simulator entry point understands."""
-    return {
-        "seed": int(params.pop("seed", 0)),
-        "policy": str(params.pop("policy", "strict")),
-        "bandwidth_bits": params.pop("bandwidth_bits", None),
-        "faults": params.pop("faults", None),
-    }
-
-
-def _finish(
-    metrics: RunMetrics, build: Callable[[], Dict[str, Any]]
-) -> Tuple[Dict[str, Any], RunMetrics]:
-    """Assemble ``(result, metrics)``, degrading under fault injection.
-
-    When injected faults crashed or stalled nodes, the run's results
-    are partial and the algorithm's aggregate summaries are undefined,
-    so the record carries a ``degraded`` marker (with the crash/stall
-    counts) instead of possibly-wrong aggregates.  ``build`` is only
-    called — and hence aggregate summaries only computed — for runs
-    where every node halted normally.
-    """
-    if metrics.nodes_crashed or metrics.nodes_stalled:
-        return {
-            "degraded": True,
-            "nodes_crashed": metrics.nodes_crashed,
-            "nodes_stalled": metrics.nodes_stalled,
-        }, metrics
-    return build(), metrics
-
-
-def _reject_leftovers(algorithm: str, params: Mapping[str, Any]) -> None:
-    if params:
-        raise TaskError(
-            f"algorithm {algorithm!r} got unknown params "
-            f"{sorted(params)}"
-        )
-
-
-def _run_apsp(graph: Graph, params: Dict[str, Any]):
-    kwargs = _common(params)
-    collect_girth = bool(params.pop("collect_girth", False))
-    _reject_leftovers("apsp", params)
-    summary = core.run_apsp(graph, collect_girth=collect_girth, **kwargs)
-    return _finish(summary.metrics, lambda: {
-        "diameter": summary.diameter(),
-        "radius": summary.radius(),
-    })
-
-
-def _run_ssp(graph: Graph, params: Dict[str, Any]):
-    kwargs = _common(params)
-    sources = params.pop("sources", None)
-    num_sources = params.pop("num_sources", None)
-    if sources is None:
-        if num_sources is None:
-            raise TaskError("ssp needs 'sources' or 'num_sources'")
-        sources = sorted(graph.nodes)[: int(num_sources)]
-    _reject_leftovers("ssp", params)
-    summary = core.run_ssp(graph, [int(s) for s in sources], **kwargs)
-
-    def build():
-        max_distance = max(
-            (max(res.distances.values(), default=0)
-             for res in summary.results.values()),
-            default=0,
-        )
-        return {
-            "sources": sorted(summary.sources),
-            "max_distance": max_distance,
-        }
-
-    return _finish(summary.metrics, build)
-
-
-def _run_properties(graph: Graph, params: Dict[str, Any]):
-    kwargs = _common(params)
-    include_girth = bool(params.pop("include_girth", True))
-    _reject_leftovers("properties", params)
-    summary = core.run_graph_properties(
-        graph, include_girth=include_girth, **kwargs
-    )
-
-    def build():
-        result = {
-            "diameter": summary.diameter,
-            "radius": summary.radius,
-            "center": sorted(summary.center()),
-            "peripheral": sorted(summary.peripheral()),
-        }
-        if include_girth:
-            result["girth"] = summary.girth
-        return result
-
-    return _finish(summary.metrics, build)
-
-
-def _run_approx(graph: Graph, params: Dict[str, Any]):
-    kwargs = _common(params)
-    epsilon = float(params.pop("epsilon", 0.5))
-    _reject_leftovers("approx", params)
-    summary = core.run_approx_properties(graph, epsilon, **kwargs)
-    return _finish(summary.metrics, lambda: {
-        "epsilon": epsilon,
-        "diameter_estimate": summary.diameter_estimate,
-        "radius_estimate": summary.radius_estimate,
-    })
-
-
-def _run_girth(graph: Graph, params: Dict[str, Any]):
-    kwargs = _common(params)
-    _reject_leftovers("girth", params)
-    summary = core.run_exact_girth(graph, **kwargs)
-    return _finish(summary.metrics, lambda: {"girth": summary.girth})
-
-
-def _run_girth_approx(graph: Graph, params: Dict[str, Any]):
-    kwargs = _common(params)
-    epsilon = float(params.pop("epsilon", 0.5))
-    _reject_leftovers("girth-approx", params)
-    summary = core.run_approx_girth(graph, epsilon, **kwargs)
-    return _finish(
-        summary.metrics,
-        lambda: {"epsilon": epsilon, "girth": summary.girth},
-    )
-
-
-def _run_two_vs_four(graph: Graph, params: Dict[str, Any]):
-    kwargs = _common(params)
-    _reject_leftovers("two-vs-four", params)
-    summary = core.run_two_vs_four(graph, **kwargs)
-    return _finish(summary.metrics, lambda: {
-        "diameter": summary.diameter,
-        "branch": summary.branch,
-    })
-
-
-def _run_baseline(graph: Graph, params: Dict[str, Any]):
-    kwargs = _common(params)
-    variant = params.pop("variant", None)
-    if variant is None:
-        raise TaskError(
-            "baseline needs a 'variant' param (e.g. 'distance-vector')"
-        )
-    _reject_leftovers("baseline", params)
-    summary = core.run_baseline_apsp(graph, str(variant), **kwargs)
-    return _finish(summary.metrics, lambda: {
-        "variant": variant,
-        "diameter": summary.diameter(),
-        "radius": summary.radius(),
-    })
-
-
-def _run_leader(graph: Graph, params: Dict[str, Any]):
-    kwargs = _common(params)
-    _reject_leftovers("leader", params)
-    results, metrics = core.run_leader_election(graph, **kwargs)
-    return _finish(
-        metrics,
-        lambda: {"leader": next(iter(results.values())).leader},
-    )
-
-
-def _run_chaos(graph: Graph, params: Dict[str, Any]):
-    """A deliberately hostile task for exercising harness hardening.
-
-    Modes: ``ok`` (succeed with an empty metrics block), ``error``
-    (raise :class:`TaskError`), ``hang`` (sleep ``seconds`` — pair it
-    with the campaign timeout), ``crash`` (kill the worker process
-    outright).  Real campaigns never use this; tests and the CI
-    fault-smoke job use it to prove timeouts, retries and crash
-    isolation work end to end.
-    """
-    _common(params)  # absorb the shared axes; chaos ignores them
-    mode = str(params.pop("mode", "error"))
-    seconds = float(params.pop("seconds", 3600.0))
-    _reject_leftovers("chaos", params)
-    if mode == "hang":
-        time.sleep(seconds)
-    elif mode == "crash":
-        os._exit(13)
-    elif mode == "error":
-        raise TaskError("chaos task failed on purpose")
-    elif mode != "ok":
-        raise TaskError(f"unknown chaos mode {mode!r}")
-    return {"mode": mode}, RunMetrics()
-
-
-_ALGORITHMS: Dict[str, Adapter] = {
-    "apsp": _run_apsp,
-    "ssp": _run_ssp,
-    "properties": _run_properties,
-    "approx": _run_approx,
-    "girth": _run_girth,
-    "girth-approx": _run_girth_approx,
-    "two-vs-four": _run_two_vs_four,
-    "baseline": _run_baseline,
-    "leader": _run_leader,
-    "chaos": _run_chaos,
-}
+__all__ = ["TaskError", "available_algorithms", "execute_task"]
 
 
 def available_algorithms() -> List[str]:
-    """Algorithm names :func:`execute_task` accepts, sorted."""
-    return sorted(_ALGORITHMS)
+    """Algorithm names :func:`execute_task` accepts, sorted.
+
+    Derived from the protocol registry — the same inventory the CLI,
+    the benchmark suite and ``repro trace run`` see.
+    """
+    return names()
 
 
 def execute_task(task: Task) -> Dict[str, Any]:
@@ -257,13 +57,7 @@ def execute_task(task: Task) -> Dict[str, Any]:
     Workers run one task at a time, so the process-global tracer slot
     is safe here.
     """
-    try:
-        adapter = _ALGORITHMS[task.algorithm]
-    except KeyError:
-        raise TaskError(
-            f"unknown algorithm {task.algorithm!r}; "
-            f"available: {available_algorithms()}"
-        )
+    protocol = get_protocol(task.algorithm)  # TaskError when unknown
     graph = parse_graph(task.graph)
     params = task.param_dict()
     trace_summary = None
@@ -271,16 +65,16 @@ def execute_task(task: Task) -> Dict[str, Any]:
         from ..obs import capture
 
         with capture() as session:
-            result, metrics = adapter(graph, params)
+            outcome = protocol.execute(graph, params)
         if session.network_count:
             trace_summary = session.summary()
     else:
-        result, metrics = adapter(graph, params)
+        outcome = protocol.execute(graph, params)
     record = {
         "task": task.payload(),
         "graph": {"n": graph.n, "m": graph.m},
-        "result": result,
-        "metrics": metrics.to_dict(),
+        "result": outcome.result,
+        "metrics": outcome.metrics.to_dict(),
     }
     if trace_summary is not None:
         record["trace"] = trace_summary

@@ -17,9 +17,11 @@ Spec format (all axes optional except ``graphs``)::
       "graphs": ["path:{n}", "torus:6x6"],
       "sizes": [30, 60, 90],           // fills the {n} placeholder
       "seeds": [0, 1, 2],              // per-task simulator seed
-      "algorithms": ["apsp", "properties"],
+      "algorithms": ["approx", "girth-approx"],
       "policies": ["strict"],          // bandwidth policy axis
-      "params": {"epsilon": 0.5},      // extra args for every task
+      "params": {"epsilon": 0.5},      // extra args for every task;
+                                       // validated at expansion against
+                                       // each algorithm's schema
       "salt": "",                      // extra cache-key salt
       "faults": {"drop_rate": 0.02}    // optional fault injection
     }
@@ -201,12 +203,25 @@ class CampaignSpec:
             raise SpecError(
                 "give 'faults' either top-level or inside params, not both"
             )
+        algorithms = list(data.get("algorithms", ("apsp",)))
+        if not algorithms:
+            raise SpecError("'algorithms' must not be empty")
+        from ..protocols import names as protocol_names
+
+        unknown_algorithms = [
+            a for a in algorithms if a not in protocol_names()
+        ]
+        if unknown_algorithms:
+            raise SpecError(
+                f"unknown algorithm(s) {unknown_algorithms}; "
+                f"available: {protocol_names()}"
+            )
         return cls(
             name=str(data.get("name", "campaign")),
             graphs=graphs,
             sizes=sizes,
             seeds=seeds,
-            algorithms=list(data.get("algorithms", ("apsp",))),
+            algorithms=algorithms,
             policies=list(data.get("policies", ("strict",))),
             params=params,
             salt=str(data.get("salt", "")),
@@ -234,7 +249,18 @@ class CampaignSpec:
         return replace(self, faults=_normalize_faults(faults))
 
     def expand(self) -> List[Task]:
-        """Expand the sweep into its ordered, deduplicated task list."""
+        """Expand the sweep into its ordered, deduplicated task list.
+
+        Every expanded task's parameters are validated against the
+        algorithm's registered schema (:mod:`repro.protocols`), so a
+        malformed campaign — bad sources, negative ``k``, unknown keys
+        — is rejected here with an actionable :class:`SpecError`,
+        before any worker process spawns.  Validation never mutates
+        the tasks themselves: stored params (and hence cache keys)
+        stay exactly as written.
+        """
+        from ..protocols import TaskError, get as get_protocol
+
         tasks: List[Task] = []
         seen = set()
         for algorithm in self.algorithms:
@@ -260,6 +286,15 @@ class CampaignSpec:
                                 task_params["trace"] = True
                             task = Task.make(graph, algorithm, task_params)
                             if task not in seen:
+                                try:
+                                    get_protocol(algorithm).check_params(
+                                        task.param_dict()
+                                    )
+                                except TaskError as exc:
+                                    raise SpecError(
+                                        f"invalid params for {algorithm!r}"
+                                        f" on {graph!r}: {exc}"
+                                    )
                                 seen.add(task)
                                 tasks.append(task)
         return tasks

@@ -1,0 +1,59 @@
+"""Protocols: the unified algorithm registry and run pipeline.
+
+Every algorithm in the repository is declared exactly once in
+:mod:`repro.protocols.builtin` — its ``core.run_*`` entry point, a
+typed parameter schema, capability flags, the JSON-pure summary shape
+and optional CLI presentation.  All consumers dispatch through the
+registry:
+
+* ``repro.harness`` — per-task execution and spec-time validation,
+* the ``repro`` CLI — subcommands and ``repro trace run`` choices,
+* ``repro.bench`` — the pinned workload suite,
+* ``repro.experiments`` — Table 1 regeneration.
+
+Quick use::
+
+    from repro import graphs, protocols
+
+    outcome = protocols.run("apsp", graphs.torus_graph(4, 4))
+    print(outcome.result)            # {"diameter": 4, "radius": 4}
+    print(outcome.metrics.rounds)    # cost counters
+    print(outcome.summary.radius())  # the native ApspSummary
+
+See ``docs/protocols.md`` for the registry contract.
+"""
+
+from .errors import ParamError, TaskError
+from .params import CommonParams, ParamSpec, validate_params
+from .registry import (
+    CAPABILITIES,
+    CliArg,
+    CliSpec,
+    Protocol,
+    RunOutcome,
+    RunRequest,
+    get,
+    names,
+    protocols,
+    register,
+    run,
+)
+
+__all__ = [
+    "CAPABILITIES",
+    "CliArg",
+    "CliSpec",
+    "CommonParams",
+    "ParamError",
+    "ParamSpec",
+    "Protocol",
+    "RunOutcome",
+    "RunRequest",
+    "TaskError",
+    "get",
+    "names",
+    "protocols",
+    "register",
+    "run",
+    "validate_params",
+]

@@ -1,0 +1,23 @@
+"""Errors raised by the protocol registry and run pipeline.
+
+:class:`TaskError` is the umbrella "this run request cannot be
+executed" error.  It historically lived in :mod:`repro.harness.runner`
+(which still re-exports it); campaign error records store the exception
+*class name*, so the name ``TaskError`` is part of the result-store
+contract and must not change.
+"""
+
+from __future__ import annotations
+
+
+class TaskError(RuntimeError):
+    """A run request could not be executed (bad algorithm/params)."""
+
+
+class ParamError(TaskError):
+    """A parameter failed schema validation.
+
+    A subclass of :class:`TaskError` so existing harness callers (and
+    stored error records) see the same class name, while spec-time
+    validators can still distinguish parameter problems.
+    """

@@ -117,4 +117,12 @@ def test_available_algorithms_inventory():
     assert available_algorithms() == sorted([
         "apsp", "ssp", "properties", "approx", "girth", "girth-approx",
         "two-vs-four", "baseline", "leader", "chaos",
+        "remark1", "bfs", "tree-check", "k-bfs", "all-two-bfs",
+        "dominating-set", "prt-diameter", "pebble", "weighted-apsp",
     ])
+
+
+def test_available_algorithms_is_the_registry():
+    from repro import protocols
+
+    assert available_algorithms() == protocols.names()

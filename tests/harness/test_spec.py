@@ -104,6 +104,83 @@ class TestCampaignSpec:
             CampaignSpec.from_dict({"graphs": ["path:8"], "seeds": []})
 
 
+class TestSpecTimeValidation:
+    """Malformed campaigns die at expansion, before any worker spawns."""
+
+    def test_unknown_algorithm_rejected_at_parse(self):
+        with pytest.raises(SpecError, match="unknown algorithm"):
+            CampaignSpec.from_dict({
+                "graphs": ["path:8"], "algorithms": ["dijkstra"],
+            })
+
+    def test_empty_algorithms_rejected(self):
+        with pytest.raises(SpecError):
+            CampaignSpec.from_dict({
+                "graphs": ["path:8"], "algorithms": [],
+            })
+
+    def test_bad_sources_rejected_at_expansion(self):
+        spec = CampaignSpec.from_dict({
+            "graphs": ["path:8"],
+            "algorithms": ["ssp"],
+            "params": {"sources": "nope"},
+        })
+        with pytest.raises(SpecError, match="list of integers"):
+            spec.expand()
+
+    def test_negative_k_rejected_at_expansion(self):
+        spec = CampaignSpec.from_dict({
+            "graphs": ["path:8"],
+            "algorithms": ["dominating-set"],
+            "params": {"k": -2},
+        })
+        with pytest.raises(SpecError, match="must be >= 1"):
+            spec.expand()
+
+    def test_unknown_param_names_the_offending_task(self):
+        spec = CampaignSpec.from_dict({
+            "graphs": ["cycle:9"],
+            "algorithms": ["apsp"],
+            "params": {"epsilom": 0.5},
+        })
+        with pytest.raises(SpecError) as excinfo:
+            spec.expand()
+        message = str(excinfo.value)
+        assert "'apsp'" in message and "'cycle:9'" in message
+        assert "epsilom" in message
+
+    def test_missing_either_or_params_rejected_at_expansion(self):
+        spec = CampaignSpec.from_dict({
+            "graphs": ["path:8"], "algorithms": ["ssp"],
+        })
+        with pytest.raises(SpecError,
+                           match="'sources' or 'num_sources'"):
+            spec.expand()
+
+    def test_validation_does_not_mutate_tasks(self):
+        # Coercion/defaults must not leak into the expanded payloads,
+        # or every cache key in existing stores would shift.
+        spec = CampaignSpec.from_dict({
+            "graphs": ["path:8"],
+            "algorithms": ["approx"],
+            "params": {"epsilon": 0.25},
+        })
+        (task,) = spec.expand()
+        assert task.payload()["params"] == {
+            "policy": "strict", "seed": 0, "epsilon": 0.25,
+        }
+
+    def test_valid_mixed_algorithm_spec_expands(self):
+        spec = CampaignSpec.from_dict({
+            "graphs": ["path:8"],
+            "algorithms": ["apsp", "girth-approx"],
+            "params": {"epsilon": 0.5},
+        })
+        # apsp does not take epsilon — expansion must name it.
+        with pytest.raises(SpecError, match="'apsp'"):
+            spec.expand()
+
+
 class TestLoadSpec:
     def test_load_json_file(self, tmp_path):
         path = tmp_path / "spec.json"

@@ -1,0 +1,1 @@
+"""Tests for the protocol registry and run envelope."""

@@ -1,0 +1,117 @@
+"""Registry completeness: one declaration per algorithm, no drift."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import core, protocols
+from repro.congest.metrics import RunMetrics
+from repro.graphs.specs import parse_graph
+from repro.protocols import CAPABILITIES, TaskError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+ALL = protocols.protocols()
+
+
+def smoke_params(protocol):
+    """Example values for every schema param that declares one."""
+    return {
+        spec.name: spec.example
+        for spec in protocol.schema
+        if spec.example is not None
+    }
+
+
+def test_every_core_entry_point_is_registered():
+    public = {
+        name for name in dir(core)
+        if name.startswith("run_") and callable(getattr(core, name))
+    }
+    registered = {
+        p.entry_point.split(".", 1)[1]
+        for p in ALL if p.entry_point.startswith("core.")
+    }
+    assert public == registered
+
+
+def test_entry_points_resolve_to_callables():
+    import importlib
+
+    for protocol in ALL:
+        parts = protocol.entry_point.split(".")
+        module = importlib.import_module(
+            "repro." + ".".join(parts[:-1])
+        )
+        assert callable(getattr(module, parts[-1])), protocol.name
+
+
+def test_names_are_sorted_and_unique():
+    names = protocols.names()
+    assert names == sorted(names)
+    assert len(names) == len(set(names))
+    assert len(names) == len(ALL)
+
+
+def test_capabilities_come_from_the_vocabulary():
+    for protocol in ALL:
+        assert protocol.capabilities <= CAPABILITIES, protocol.name
+
+
+def test_unknown_capability_rejected_at_construction():
+    with pytest.raises(ValueError, match="unknown capabilities"):
+        protocols.Protocol(
+            name="x", entry_point="core.run_apsp",
+            run=lambda req: None, summarize=lambda s, req: {},
+            capabilities=frozenset({"quantum"}),
+        )
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        protocols.register(protocols.get("apsp"))
+
+
+def test_unknown_protocol_error_lists_available():
+    with pytest.raises(TaskError, match="available:"):
+        protocols.get("dijkstra")
+
+
+@pytest.mark.parametrize(
+    "protocol", ALL, ids=lambda p: p.name
+)
+def test_smoke_run_on_declared_graph(protocol):
+    """Every protocol runs on its smoke graph with example params."""
+    graph = parse_graph(protocol.smoke_graph)
+    outcome = protocol.execute(graph, smoke_params(protocol))
+    assert outcome.protocol == protocol.name
+    assert isinstance(outcome.metrics, RunMetrics)
+    # The stored half of the envelope must be JSON-pure.
+    json.dumps(outcome.result)
+
+
+@pytest.mark.parametrize(
+    "protocol",
+    [p for p in ALL if p.schema],
+    ids=lambda p: p.name,
+)
+def test_unknown_param_rejected_everywhere(protocol):
+    with pytest.raises(TaskError, match="unknown params"):
+        protocol.check_params({**smoke_params(protocol), "wat": 1})
+
+
+def test_check_params_tolerates_the_trace_marker():
+    protocols.get("apsp").check_params({"trace": True, "seed": 0})
+
+
+def test_drift_tool_passes_on_this_tree():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_registry.py")],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "registry OK" in result.stdout

@@ -159,12 +159,30 @@ class TestCampaignCommand:
         with pytest.raises(SystemExit):
             main(["campaign", str(tmp_path / "absent.json")])
 
-    def test_failures_set_exit_status(self, tmp_path):
-        assert main([
-            "campaign", "--graphs", "path:8",
-            "--algorithms", "no-such-algorithm", "--quiet",
-            "--out", str(tmp_path / "out.jsonl"),
-        ]) == 1
+    def test_unknown_algorithm_rejected_before_workers(self, tmp_path):
+        # Spec-time validation: no worker spawns, no result store is
+        # written — the campaign is refused outright.
+        out = tmp_path / "out.jsonl"
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main([
+                "campaign", "--graphs", "path:8",
+                "--algorithms", "no-such-algorithm", "--quiet",
+                "--out", str(out),
+            ])
+        assert not out.exists()
+
+    def test_malformed_params_rejected_before_workers(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "bad-k",
+            "graphs": ["path:8"],
+            "algorithms": ["dominating-set"],
+            "params": {"k": -2},
+        }))
+        out = tmp_path / "out.jsonl"
+        with pytest.raises(SystemExit, match="must be >= 1"):
+            main(["campaign", str(spec), "--quiet", "--out", str(out)])
+        assert not out.exists()
 
     def test_failed_tasks_record_tracebacks(self, tmp_path):
         out = tmp_path / "out.jsonl"

@@ -12,7 +12,7 @@ def test_registry_covers_experiments_md():
     expected = {
         "e1", "e2", "e3", "e4", "e5", "e6", "e6b", "e7", "e8",
         "e9a", "e9b", "e10", "e11a", "e11b", "e12", "e13", "e14",
-        "e15", "e16",
+        "e15", "e16", "e17",
     }
     assert set(ALL_IDS) == expected
 

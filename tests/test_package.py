@@ -1,7 +1,7 @@
 """Smoke tests for the package surface."""
 
 import repro
-from repro import congest, core, graphs, harness
+from repro import congest, core, graphs, harness, protocols
 
 
 def test_version():
@@ -16,7 +16,7 @@ def test_quickstart_from_docstring():
 
 
 def test_all_exports_resolve():
-    for module in (congest, core, graphs, harness):
+    for module in (congest, core, graphs, harness, protocols):
         for name in module.__all__:
             assert hasattr(module, name), f"{module.__name__}.{name}"
 
@@ -24,5 +24,6 @@ def test_all_exports_resolve():
 def test_layering_core_imports_nothing_private_from_tests():
     # The public surface exposes the documented layers.
     assert repro.__all__ == [
-        "congest", "core", "graphs", "harness", "__version__"
+        "congest", "core", "graphs", "harness", "protocols",
+        "__version__",
     ]
