@@ -29,6 +29,9 @@ Examples::
     python -m repro leader er:30:p=0.2
     python -m repro weighted-apsp torus:4x6 --max-weight 3
     python -m repro campaign --graphs "path:{n}" --sizes 20,40 --jobs 4
+    python -m repro serve --graph er:64:p=0.1:seed=1 --cache-dir .cache
+    python -m repro serve-bench er:64:p=0.1:seed=1 --clients 8
+    python -m repro cache prune .cache --max-mb 256
 """
 
 from __future__ import annotations
@@ -364,6 +367,100 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the persistent distance-query service.
+
+    Runs until SIGINT/SIGTERM; shutdown drains in-flight batches and
+    flushes the stats snapshot (see docs/serving.md).
+    """
+    from . import serve
+
+    config = serve.ServerConfig(
+        host=args.host,
+        port=args.port,
+        graphs=tuple(args.graph or ()),
+        cache_dir=args.cache_dir,
+        max_matrix_bytes=int(args.max_matrix_mb * 1024 * 1024),
+        seed=args.seed,
+        policy=args.policy,
+        tick_s=args.tick_ms / 1000.0,
+        max_batch=args.max_batch,
+        stats_path=args.stats_out,
+        warm=tuple(args.warm or ()),
+    )
+    return serve.run_server(config)
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """``repro serve-bench``: load-test a running (or self-hosted) server.
+
+    Reports queries/sec and latency percentiles; ``--out`` writes the
+    ``repro-serve-bench/1`` JSON artifact (qps, p50/p99, and the
+    server's ``/stats`` snapshot).  ``--min-qps`` turns the run into a
+    gate for CI.
+    """
+    from . import serve
+
+    handle = None
+    url = args.url
+    if url is None:
+        handle = serve.ServerThread(
+            serve.DistanceService(cache_dir=args.cache_dir)
+        ).start()
+        url = handle.url
+    try:
+        report = serve.run_loadgen(serve.LoadgenOptions(
+            url=url,
+            graph=args.graph,
+            protocol=args.protocol,
+            clients=args.clients,
+            duration_s=args.duration,
+            mode=args.mode,
+            seed=args.seed,
+            warm=not args.cold,
+        ))
+    finally:
+        if handle is not None:
+            handle.stop()
+    print(serve.render_summary(report))
+    if args.out:
+        serve.write_artifact(report, args.out)
+        print(f"artifact -> {args.out}")
+    if args.min_qps is not None and report["qps"] < args.min_qps:
+        print(
+            f"error: {report['qps']:.0f} qps is below the "
+            f"--min-qps {args.min_qps:.0f} gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache``: inspect and bound the content-addressed run cache.
+
+    ``info`` prints entry count and bytes; ``prune`` evicts
+    oldest-first until the cache fits ``--max-mb`` (every entry is
+    recomputable, so eviction is always safe); ``clear`` empties it.
+    """
+    from .harness import RunCache
+
+    cache = RunCache(args.dir)
+    if args.cache_command == "info":
+        print(f"{args.dir}: {len(cache)} entries, "
+              f"{cache.size_bytes()} bytes")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries")
+        return 0
+    max_bytes = int(args.max_mb * 1024 * 1024)
+    removed, freed = cache.prune(max_bytes)
+    print(f"pruned {removed} entries ({freed} bytes); "
+          f"{len(cache)} entries ({cache.size_bytes()} bytes) remain")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree.
 
@@ -516,6 +613,86 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warn-only", action="store_true",
                    help="report regressions but exit 0")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="persistent distance-query HTTP service with request "
+             "batching and memoized matrices (see docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8972,
+                   help="listen port (0 = ephemeral; default 8972)")
+    p.add_argument("--graph", action="append", metavar="SPEC",
+                   help="preload this graph spec (repeatable)")
+    p.add_argument("--warm", action="append", metavar="SPEC",
+                   help="precompute the full APSP matrix for this "
+                        "spec before serving (repeatable)")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed run cache persisting "
+                        "matrices across restarts")
+    p.add_argument("--max-matrix-mb", type=float, default=64.0,
+                   help="in-memory matrix LRU budget (default 64)")
+    p.add_argument("--tick-ms", type=float, default=5.0,
+                   help="batching window: concurrent queries within "
+                        "one tick share a single S-SP run (default 5)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="max sources per batched run (default 64)")
+    p.add_argument("--policy", default="strict",
+                   help="bandwidth policy for on-demand runs")
+    p.add_argument("--stats-out", default=None, metavar="PATH",
+                   help="write the final /stats snapshot here on "
+                        "shutdown")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="load-test a distance-query server; reports qps and "
+             "p50/p99 latency (see docs/serving.md)",
+    )
+    p.add_argument("graph", help="graph spec the clients query")
+    p.add_argument("--url", default=None,
+                   help="target server (default: self-host an "
+                        "ephemeral server for the run)")
+    p.add_argument("--protocol", default="apsp",
+                   choices=["apsp", "weighted-apsp"])
+    p.add_argument("--clients", type=int, default=8,
+                   help="concurrent keep-alive connections (default 8)")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="measured seconds (default 5)")
+    p.add_argument("--mode", choices=["distance", "mixed"],
+                   default="distance",
+                   help="query mix (mixed adds ecc/diameter traffic)")
+    p.add_argument("--cold", action="store_true",
+                   help="skip the warm-up diameter query (measures "
+                        "cold-cache behaviour)")
+    p.add_argument("--cache-dir", default=None,
+                   help="run cache for the self-hosted server")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the repro-serve-bench/1 JSON artifact")
+    p.add_argument("--min-qps", type=float, default=None,
+                   help="exit 1 if measured qps falls below this")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect / prune / clear a content-addressed run cache",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for name, needs_size in (("info", False), ("prune", True),
+                             ("clear", False)):
+        pc = cache_sub.add_parser(
+            name,
+            help={"info": "entry count and total bytes",
+                  "prune": "evict oldest entries down to --max-mb",
+                  "clear": "delete every entry"}[name],
+        )
+        pc.add_argument("dir", help="cache directory")
+        if needs_size:
+            pc.add_argument("--max-mb", type=float, required=True,
+                            help="target size in MiB")
+        pc.set_defaults(func=cmd_cache)
 
     return parser
 

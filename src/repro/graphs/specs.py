@@ -19,7 +19,9 @@ Supported families::
     dumbbell:20:10         two 20-cliques joined by a 10-edge path
     diameter2:60:seed=0    a diameter-2 promise instance (Algorithm 3)
     diameter4:60:seed=0    a diameter-4 promise instance (Algorithm 3)
-    file:PATH              an edge-list file (repro.graphs.io format)
+    file:PATH              an edge-list file (strict repro.graphs.io
+                           format or SNAP-style whitespace/comment
+                           lists, optional weights ignored)
 
 Specs may carry a ``{n}`` placeholder (``"path:{n}"``) which
 :func:`substitute_size` fills in during sweep expansion.
@@ -96,7 +98,9 @@ def parse_graph(spec: str) -> Graph:
                 int(positional[0]), seed=int(options.get("seed", 0))
             )
         if family == "file":
-            return io.load(positional[0])
+            # The tolerant SNAP-style loader: a superset of the strict
+            # save() format (comments, weights, duplicates, 0-based).
+            return io.load_edge_list(positional[0])
     except GraphSpecError:
         raise
     except (IndexError, ValueError) as exc:

@@ -27,7 +27,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from .hashing import canonical_json
 
@@ -105,3 +105,46 @@ class RunCache:
             except OSError:
                 pass
         return removed
+
+    def size_bytes(self) -> int:
+        """Total bytes the stored records occupy on disk."""
+        total = 0
+        for key in self.keys():
+            try:
+                total += self.path_for(key).stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def prune(self, max_bytes: int) -> Tuple[int, int]:
+        """Evict oldest entries until the cache fits ``max_bytes``.
+
+        Entries are immutable once written, so modification time is
+        write time and oldest-mtime-first eviction drops the records
+        least likely to be re-requested (every entry is recomputable —
+        eviction costs time, never correctness).  Returns
+        ``(entries_removed, bytes_freed)``.  Entries that vanish
+        concurrently (another pruner, a cleared cache) are skipped.
+        """
+        entries = []
+        total = 0
+        for key in self.keys():
+            try:
+                stat = self.path_for(key).stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, key, stat.st_size))
+            total += stat.st_size
+        entries.sort()
+        removed = 0
+        freed = 0
+        for _mtime, key, size in entries:
+            if total - freed <= max_bytes:
+                break
+            try:
+                self.path_for(key).unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        return removed, freed

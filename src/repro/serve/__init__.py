@@ -1,0 +1,63 @@
+"""``repro.serve`` — the persistent distance-query service.
+
+Production framing of the paper's query-shaped algorithms: a
+long-running asyncio HTTP+JSON server that loads graphs once, runs
+registered protocols on demand through :func:`repro.protocols.run`,
+memoizes distance matrices in the content-addressed run cache, and
+answers point ``distance`` / ``eccentricity`` / ``diameter`` queries
+from resident matrices at memory speed.  Concurrent cold queries
+against one graph coalesce into a single Algorithm 2 (S-SP) run —
+``O(|S| + D)`` rounds for the whole batch.  See ``docs/serving.md``.
+
+Layering (transport-independent core first):
+
+* :mod:`~repro.serve.matrix` — query families and distance matrices;
+* :mod:`~repro.serve.cache` — in-memory LRU over the on-disk RunCache;
+* :mod:`~repro.serve.service` — graphs, lookups, protocol runs;
+* :mod:`~repro.serve.batch` — the per-tick source batcher;
+* :mod:`~repro.serve.stats` — the ``/stats`` counters;
+* :mod:`~repro.serve.server` — the HTTP front end + shutdown;
+* :mod:`~repro.serve.loadgen` — the ``repro serve-bench`` harness.
+"""
+
+from .batch import DEFAULT_MAX_BATCH, DEFAULT_TICK_S, SourceBatcher
+from .cache import DEFAULT_MAX_BYTES, MatrixCache
+from .loadgen import (
+    SCHEMA as LOADGEN_SCHEMA,
+    LoadgenOptions,
+    render_summary,
+    run_loadgen,
+    write_artifact,
+)
+from .matrix import DistanceMatrix, QueryFamily
+from .server import (
+    DistanceServer,
+    ServerConfig,
+    ServerThread,
+    run_server,
+)
+from .service import Answer, DistanceService, QueryError
+from .stats import ServeStats
+
+__all__ = [
+    "Answer",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_TICK_S",
+    "DistanceMatrix",
+    "DistanceServer",
+    "DistanceService",
+    "LOADGEN_SCHEMA",
+    "LoadgenOptions",
+    "MatrixCache",
+    "QueryError",
+    "QueryFamily",
+    "ServeStats",
+    "ServerConfig",
+    "ServerThread",
+    "SourceBatcher",
+    "render_summary",
+    "run_loadgen",
+    "run_server",
+    "write_artifact",
+]

@@ -1,0 +1,161 @@
+"""The request batcher: concurrent queries → one Algorithm 2 run.
+
+Algorithm 2 computes S-shortest-paths for an *arbitrary* source set in
+``O(|S| + D)`` rounds — it is a batch API by construction.  The
+batcher exploits that: cold row requests arriving within one
+*simulation tick* against the same :class:`~repro.serve.matrix.
+QueryFamily` are coalesced into a single source set and answered by
+one S-SP run, so ``k`` concurrent misses cost ``|S| + D + O(1)``
+rounds instead of ``k`` separate ``D + O(1)``-round runs.
+
+Mechanics:
+
+* the first request for a family opens a *window*; requests landing
+  during the window (``tick_s`` seconds) join its source set, with
+  duplicate sources sharing one future;
+* when the window closes, the batch runs via
+  :meth:`DistanceService.compute_rows` on a dedicated single-thread
+  executor — simulations are CPU-bound pure Python, so one worker
+  serializes them without stalling the event loop that is busy
+  answering cache hits;
+* oversize windows split: at most ``max_batch`` sources per run, the
+  remainder reopens a window immediately.
+
+:meth:`drain` waits for every open window and in-flight run — the
+graceful-shutdown path, so SIGINT never drops an accepted query.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Set
+
+from .matrix import QueryFamily
+from .service import DistanceService
+
+#: Default coalescing window: long enough for concurrent clients to
+#: pile onto one batch, short enough to be invisible next to a run.
+DEFAULT_TICK_S = 0.005
+
+#: Algorithm 2's round cost is linear in |S|; cap a single batch so one
+#: huge window cannot monopolize the simulation worker.
+DEFAULT_MAX_BATCH = 64
+
+
+class _Window:
+    """One open coalescing window for a family."""
+
+    __slots__ = ("sources", "waiters", "task")
+
+    def __init__(self) -> None:
+        self.sources: List[int] = []
+        self.waiters: Dict[int, asyncio.Future] = {}
+        self.task: Optional[asyncio.Task] = None
+
+
+class SourceBatcher:
+    """Coalesces per-source row requests into batched S-SP runs."""
+
+    def __init__(
+        self,
+        service: DistanceService,
+        *,
+        tick_s: float = DEFAULT_TICK_S,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        self.service = service
+        self.tick_s = tick_s
+        self.max_batch = max(1, int(max_batch))
+        self._windows: Dict[QueryFamily, _Window] = {}
+        self._inflight: Set[asyncio.Task] = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-sim"
+        )
+        self._closed = False
+
+    # -- request side ------------------------------------------------------
+
+    async def row(self, family: QueryFamily, source: int) -> None:
+        """Ensure ``source``'s row is cached, batching with neighbors.
+
+        Returns once the row is resident; raises whatever the
+        underlying run raised.
+        """
+        if self._closed:
+            raise RuntimeError("batcher is shut down")
+        window = self._windows.get(family)
+        if window is None or len(window.sources) >= self.max_batch:
+            window = _Window()
+            self._windows[family] = window
+            window.task = asyncio.ensure_future(
+                self._flush_after_tick(family, window)
+            )
+            self._track(window.task)
+        future = window.waiters.get(source)
+        if future is None:
+            future = asyncio.get_running_loop().create_future()
+            window.waiters[source] = future
+            window.sources.append(source)
+        await asyncio.shield(future)
+
+    async def full(self, family: QueryFamily) -> None:
+        """Ensure the complete matrix is cached (no coalescing axis)."""
+        loop = asyncio.get_running_loop()
+        task = asyncio.ensure_future(
+            loop.run_in_executor(
+                self._executor, self.service.compute_full, family
+            )
+        )
+        self._track(task)
+        await asyncio.shield(task)
+
+    # -- flush side --------------------------------------------------------
+
+    def _track(self, task: asyncio.Task) -> None:
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _flush_after_tick(
+        self, family: QueryFamily, window: _Window
+    ) -> None:
+        await asyncio.sleep(self.tick_s)
+        if self._windows.get(family) is window:
+            del self._windows[family]
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(
+                self._executor,
+                self.service.compute_rows, family, list(window.sources),
+            )
+        except BaseException as exc:  # propagate to every waiter
+            for future in window.waiters.values():
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for future in window.waiters.values():
+            if not future.done():
+                future.set_result(None)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def drain(self) -> int:
+        """Flush every open window and wait out in-flight runs.
+
+        Returns the number of tasks awaited; used by graceful shutdown
+        so accepted queries are answered before the process exits.
+        """
+        self._closed = True
+        drained = 0
+        while self._inflight or self._windows:
+            pending = list(self._inflight)
+            if not pending:
+                await asyncio.sleep(0)
+                continue
+            drained += len(pending)
+            await asyncio.gather(*pending, return_exceptions=True)
+        return drained
+
+    def close(self) -> None:
+        """Release the simulation worker thread."""
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,529 @@
+"""The asyncio HTTP+JSON front end of the distance-query service.
+
+Stdlib only: a hand-rolled HTTP/1.1 layer over ``asyncio.start_server``
+with keep-alive, because the service's job — parse a query string,
+answer from a resident matrix — needs nothing more.  Endpoints:
+
+====================  ======================================================
+``GET /healthz``      liveness probe
+``GET /graphs``       loaded graphs (spec, n, m)
+``POST /graphs``      ``{"spec": "er:64:p=0.1:seed=1"}`` — preload a graph
+``GET /distance``     ``?graph=SPEC&source=U&target=V[&protocol=P…]``
+``GET /eccentricity`` ``?graph=SPEC&node=U[&protocol=P…]``
+``GET /diameter``     ``?graph=SPEC[&protocol=P…]``
+``GET /stats``        the :class:`~repro.serve.stats.ServeStats` snapshot
+====================  ======================================================
+
+Query answers carry the serving ``tier`` (``memory`` / ``disk`` /
+``computed``) so clients — and the CI smoke job — can verify that
+repeats never re-run a simulation.  Cold misses are routed through the
+:class:`~repro.serve.batch.SourceBatcher`, so concurrent misses against
+one graph coalesce into a single Algorithm 2 run.
+
+Shutdown is drain-first: SIGINT/SIGTERM (or
+:meth:`DistanceServer.shutdown`) stops accepting connections, flushes
+every open batch window, answers in-flight requests, then flushes the
+stats snapshot.  ``repro serve`` exits 0 on a drained shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .batch import DEFAULT_MAX_BATCH, DEFAULT_TICK_S, SourceBatcher
+from .service import DistanceService, QueryError
+
+#: Seconds shutdown waits for in-flight request handlers after the
+#: batcher drained before force-closing connections.
+DRAIN_GRACE_S = 10.0
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 default: persistent unless ``Connection: close``."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on EOF/reset."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+            ConnectionError):
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        return None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" in line:
+            key, value = line.split(":", 1)
+            headers[key.strip().lower()] = value.strip()
+    body = b""
+    length = int(headers.get("content-length", 0) or 0)
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+    split = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(split.query).items()
+    }
+    return Request(
+        method=method.upper(), path=split.path, query=query,
+        headers=headers, body=body,
+    )
+
+
+def encode_response(
+    status: int, payload: Any, *, keep_alive: bool
+) -> bytes:
+    """Serialize one JSON response."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+class DistanceServer:
+    """The HTTP front end over one :class:`DistanceService`."""
+
+    def __init__(
+        self,
+        service: Optional[DistanceService] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_s: float = DEFAULT_TICK_S,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        stats_path: Optional[str] = None,
+        log=None,
+    ) -> None:
+        self.service = service if service is not None else DistanceService()
+        self.host = host
+        self._requested_port = port
+        self.port: Optional[int] = None
+        self.stats_path = stats_path
+        self.batcher = SourceBatcher(
+            self.service, tick_s=tick_s, max_batch=max_batch
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._log = log or (lambda msg: print(msg, file=sys.stderr))
+        self._stopping = False
+        self._active_requests = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._connections: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> Dict[str, Any]:
+        """Drain-first shutdown; returns a JSON-pure summary.
+
+        Order matters: stop accepting, flush open batch windows (so
+        every accepted query can be answered), wait for in-flight
+        handlers, then close lingering keep-alive connections and
+        flush the stats snapshot.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        drained = await self.batcher.drain()
+        try:
+            await asyncio.wait_for(self._idle.wait(), DRAIN_GRACE_S)
+            forced = 0
+        except asyncio.TimeoutError:
+            forced = self._active_requests
+        for writer in list(self._connections):
+            writer.close()
+        self.batcher.close()
+        snapshot = self.service.stats.snapshot()
+        if self.stats_path:
+            with open(self.stats_path, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        return {
+            "drained_batches": drained,
+            "forced_connections": forced,
+            "stats": snapshot,
+        }
+
+    # -- connection handling -----------------------------------------------
+
+    def _request_started(self) -> None:
+        self._active_requests += 1
+        self._idle.clear()
+
+    def _request_finished(self) -> None:
+        self._active_requests -= 1
+        if self._active_requests == 0:
+            self._idle.set()
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                request = await read_request(reader)
+                if request is None:
+                    break
+                keep_alive = request.keep_alive and not self._stopping
+                self._request_started()
+                started = time.perf_counter()
+                try:
+                    status, payload = await self._dispatch(request)
+                finally:
+                    elapsed = time.perf_counter() - started
+                    self._request_finished()
+                self.service.stats.observe_request(
+                    request.path, elapsed, ok=status < 400
+                )
+                writer.write(
+                    encode_response(status, payload, keep_alive=keep_alive)
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(self, request: Request) -> Tuple[int, Any]:
+        try:
+            if request.path == "/healthz":
+                return 200, {"ok": True}
+            if request.path == "/stats":
+                return 200, self.service.stats.snapshot()
+            if request.path == "/graphs":
+                return await self._route_graphs(request)
+            if request.path == "/distance":
+                return await self._route_distance(request)
+            if request.path == "/eccentricity":
+                return await self._route_eccentricity(request)
+            if request.path == "/diameter":
+                return await self._route_diameter(request)
+            return 404, {"error": f"no such endpoint {request.path!r}"}
+        except QueryError as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # defensive: a 500 must not kill the loop
+            self._log(
+                f"repro-serve: internal error on {request.path}: "
+                f"{exc}\n{traceback.format_exc()}"
+            )
+            return 500, {"error": f"internal error: {exc}"}
+
+    # -- endpoint helpers --------------------------------------------------
+
+    @staticmethod
+    def _required(request: Request, name: str) -> str:
+        value = request.query.get(name)
+        if value is None:
+            raise QueryError(f"missing query parameter {name!r}")
+        return value
+
+    @staticmethod
+    def _int_param(request: Request, name: str) -> int:
+        text = DistanceServer._required(request, name)
+        try:
+            return int(text)
+        except ValueError:
+            raise QueryError(f"parameter {name!r} must be an int, "
+                             f"got {text!r}")
+
+    def _family(self, request: Request):
+        protocol = request.query.get("protocol", "apsp")
+        params: Dict[str, Any] = {}
+        for name in ("max_weight", "weight_seed"):
+            if name in request.query:
+                params[name] = self._int_param(request, name)
+        return self.service.family_for(
+            self._required(request, "graph"), protocol, params
+        )
+
+    async def _ensure_row(self, family, node: int) -> str:
+        """Async row materialization: cache tiers, then the batcher."""
+        tier = self.service.lookup_row(family, node)
+        if tier is None:
+            await self.batcher.row(family, node)
+            tier = "computed"
+        self.service.stats.observe_tier(tier)
+        return tier
+
+    async def _route_graphs(self, request: Request) -> Tuple[int, Any]:
+        if request.method == "GET":
+            return 200, {"graphs": self.service.graphs()}
+        if request.method == "POST":
+            try:
+                payload = json.loads(request.body.decode("utf-8") or "{}")
+            except ValueError as exc:
+                raise QueryError(f"invalid JSON body: {exc}")
+            spec = payload.get("spec")
+            if not isinstance(spec, str):
+                raise QueryError('body must be {"spec": "<graph spec>"}')
+            graph = self.service.load_graph(spec)
+            return 200, {"spec": spec, "n": graph.n, "m": graph.m}
+        return 405, {"error": "use GET or POST"}
+
+    async def _route_distance(self, request: Request) -> Tuple[int, Any]:
+        family = self._family(request)
+        source = self._int_param(request, "source")
+        target = self._int_param(request, "target")
+        graph = self.service.load_graph(family.graph_spec)
+        for name, node in (("source", source), ("target", target)):
+            self.service._check_node(graph, node, name)
+        matrix = self.service.matrix(family)
+        value = matrix.distance(source, target)
+        if value is not None or matrix.has_row(source):
+            tier = "memory"
+            self.service.stats.observe_tier(tier)
+        else:
+            tier = await self._ensure_row(family, source)
+            value = self.service.matrix(family).distance(source, target)
+        return 200, {
+            "graph": family.graph_spec, "protocol": family.protocol,
+            "source": source, "target": target,
+            "distance": value, "tier": tier,
+        }
+
+    async def _route_eccentricity(
+        self, request: Request
+    ) -> Tuple[int, Any]:
+        family = self._family(request)
+        node = self._int_param(request, "node")
+        graph = self.service.load_graph(family.graph_spec)
+        self.service._check_node(graph, node, "node")
+        matrix = self.service.matrix(family)
+        if matrix.has_row(node):
+            tier = "memory"
+            self.service.stats.observe_tier(tier)
+        else:
+            tier = await self._ensure_row(family, node)
+        value = self.service.matrix(family).eccentricity(node)
+        return 200, {
+            "graph": family.graph_spec, "protocol": family.protocol,
+            "node": node, "eccentricity": value, "tier": tier,
+        }
+
+    async def _route_diameter(self, request: Request) -> Tuple[int, Any]:
+        family = self._family(request)
+        tier = self.service.lookup_full(family)
+        if tier is None:
+            await self.batcher.full(family)
+            tier = "computed"
+        self.service.stats.observe_tier(tier)
+        value = self.service.matrix(family).diameter()
+        return 200, {
+            "graph": family.graph_spec, "protocol": family.protocol,
+            "diameter": value, "tier": tier,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Blocking entry point (the ``repro serve`` subcommand).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``repro serve`` passes down."""
+
+    host: str = "127.0.0.1"
+    port: int = 8972
+    graphs: Tuple[str, ...] = ()
+    cache_dir: Optional[str] = None
+    max_matrix_bytes: int = 64 * 1024 * 1024
+    seed: int = 0
+    policy: str = "strict"
+    tick_s: float = DEFAULT_TICK_S
+    max_batch: int = DEFAULT_MAX_BATCH
+    stats_path: Optional[str] = None
+    #: Extra graph specs to warm (full APSP matrix) before serving.
+    warm: Tuple[str, ...] = ()
+
+
+async def _serve_main(config: ServerConfig) -> int:
+    service = DistanceService(
+        cache_dir=config.cache_dir,
+        max_matrix_bytes=config.max_matrix_bytes,
+        seed=config.seed,
+        policy=config.policy,
+    )
+    for spec in config.graphs:
+        service.load_graph(spec)
+    server = DistanceServer(
+        service,
+        host=config.host,
+        port=config.port,
+        tick_s=config.tick_s,
+        max_batch=config.max_batch,
+        stats_path=config.stats_path,
+    )
+    await server.start()
+    for spec in config.warm:
+        family = service.family_for(spec)
+        if service.lookup_full(family) is None:
+            await server.batcher.full(family)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    print(
+        f"repro-serve: ready on http://{server.host}:{server.port} "
+        f"({len(config.graphs)} graph(s) preloaded)",
+        flush=True,
+    )
+    await stop.wait()
+    summary = await server.shutdown()
+    stats = summary["stats"]
+    rate = stats["cache"]["hit_rate"]
+    print(
+        f"repro-serve: drained {summary['drained_batches']} batch "
+        f"task(s), {stats['cache']['lookups']} lookups, hit rate "
+        f"{'n/a' if rate is None else f'{rate:.0%}'}; stats flushed",
+        flush=True,
+    )
+    return 0
+
+
+def run_server(config: ServerConfig) -> int:
+    """Run the server until SIGINT/SIGTERM; returns the exit code."""
+    return asyncio.run(_serve_main(config))
+
+
+class ServerThread:
+    """A server on a background thread (tests, docs, self-benchmarks).
+
+    Context-manager: binds an ephemeral port by default, exposes
+    ``.port`` and ``.service``, and drain-shuts-down on exit::
+
+        with ServerThread(graphs=["path:16"]) as handle:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{handle.port}/healthz")
+    """
+
+    def __init__(
+        self,
+        service: Optional[DistanceService] = None,
+        *,
+        graphs: Tuple[str, ...] = (),
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_s: float = DEFAULT_TICK_S,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        stats_path: Optional[str] = None,
+    ) -> None:
+        self.service = service if service is not None else DistanceService()
+        for spec in graphs:
+            self.service.load_graph(spec)
+        self._kwargs = dict(
+            host=host, port=port, tick_s=tick_s, max_batch=max_batch,
+            stats_path=stats_path,
+        )
+        self.server: Optional[DistanceServer] = None
+        self.port: Optional[int] = None
+        self.shutdown_summary: Optional[Dict[str, Any]] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def start(self) -> "ServerThread":
+        """Start the thread and block until the server is bound."""
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread did not become ready")
+        if self._failure is not None:
+            raise RuntimeError(
+                f"server thread failed to start: {self._failure}"
+            )
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # startup failures surface in start()
+            self._failure = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = DistanceServer(self.service, **self._kwargs)
+        await self.server.start()
+        self.port = self.server.port
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        self.shutdown_summary = await self.server.shutdown()
+
+    def stop(self) -> None:
+        """Drain-shutdown the server and join the thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server (valid after :meth:`start`)."""
+        return f"http://{self._kwargs['host']}:{self.port}"
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,84 @@
+"""The tolerant SNAP-style edge-list loader (``file:`` spec backend)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.errors import GraphError
+from repro.graphs import (
+    Graph,
+    load_edge_list,
+    loads_edge_list,
+    path_graph,
+)
+from repro.graphs import io as graph_io
+from repro.graphs.specs import GraphSpecError, parse_graph
+
+MESSY = """\
+# SNAP-style comment
+% matrix-market-style comment
+
+0 1
+1 2  3
+2 3\t5
+1 2 9
+3 3
+0 3
+"""
+
+
+def test_messy_snap_file_parses():
+    graph = loads_edge_list(MESSY)
+    # 0-based ids shift up by one; the self-loop 3-3 is dropped; the
+    # duplicate 1-2 edge collapses.
+    assert graph.node_set() == {1, 2, 3, 4}
+    assert graph.m == 4
+    assert graph.has_edge(1, 2) and graph.has_edge(1, 4)
+
+
+def test_weighted_parse_keeps_first_weight():
+    weighted = loads_edge_list(MESSY, weighted=True)
+    assert weighted.weight(2, 3) == 3            # not the duplicate's 9
+    assert weighted.weight(3, 4) == 5
+    assert weighted.weight(1, 2) == 1            # default_weight
+    assert weighted.weight(1, 4) == 1
+
+
+def test_one_based_files_are_not_shifted():
+    graph = loads_edge_list("1 2\n2 3\n")
+    assert graph.node_set() == {1, 2, 3}
+
+
+def test_strict_format_is_a_subset():
+    original = path_graph(7)
+    text = graph_io.dumps(original)
+    graph = loads_edge_list(text)
+    assert graph.node_set() == original.node_set()
+    assert sorted(graph.edges) == sorted(original.edges)
+
+
+@pytest.mark.parametrize("bad", [
+    "1 2 3 4\n",       # too many columns
+    "a b\n",           # non-integer ids
+    "1 2 0\n",         # non-positive weight
+    "1 2 -3\n",
+])
+def test_malformed_lines_raise_graph_error(bad):
+    with pytest.raises(GraphError):
+        loads_edge_list(bad)
+
+
+def test_load_edge_list_and_file_spec(tmp_path):
+    target = tmp_path / "edges.txt"
+    target.write_text("# toy\n0 1\n1 2\n", encoding="utf-8")
+    loaded = load_edge_list(target)
+    assert isinstance(loaded, Graph)
+    assert loaded.node_set() == {1, 2, 3}
+    via_spec = parse_graph(f"file:{target}")
+    assert via_spec.node_set() == loaded.node_set()
+    assert sorted(via_spec.edges) == sorted(loaded.edges)
+
+
+def test_file_spec_missing_path_raises():
+    with pytest.raises((GraphSpecError, OSError)):
+        parse_graph("file:/no/such/edges.txt")

@@ -1,0 +1,72 @@
+"""RunCache size accounting and oldest-first pruning."""
+
+from __future__ import annotations
+
+import os
+
+from repro.cli import main
+from repro.harness.cache import RunCache
+
+
+def fill(cache, count, *, pad=200):
+    """Store ``count`` entries with strictly increasing mtimes."""
+    keys = []
+    for index in range(count):
+        key = f"{index:064x}"
+        cache.put(key, {"index": index, "pad": "x" * pad})
+        # Strictly order mtimes without sleeping.
+        path = cache.path_for(key)
+        os.utime(path, (1_000_000 + index, 1_000_000 + index))
+        keys.append(key)
+    return keys
+
+
+def test_size_bytes_matches_disk(tmp_path):
+    cache = RunCache(tmp_path)
+    assert cache.size_bytes() == 0
+    keys = fill(cache, 3)
+    expected = sum(
+        cache.path_for(key).stat().st_size for key in keys
+    )
+    assert cache.size_bytes() == expected
+
+
+def test_prune_evicts_oldest_first(tmp_path):
+    cache = RunCache(tmp_path)
+    keys = fill(cache, 5)
+    entry = cache.path_for(keys[0]).stat().st_size
+    removed, freed = cache.prune(entry * 2)
+    assert removed == 3
+    assert freed == entry * 3
+    survivors = set(cache.keys())
+    assert survivors == set(keys[3:])        # newest two remain
+    assert cache.size_bytes() <= entry * 2
+
+
+def test_prune_is_a_noop_under_budget(tmp_path):
+    cache = RunCache(tmp_path)
+    fill(cache, 3)
+    before = cache.size_bytes()
+    assert cache.prune(before) == (0, 0)
+    assert cache.size_bytes() == before
+
+
+def test_prune_to_zero_empties_the_cache(tmp_path):
+    cache = RunCache(tmp_path)
+    fill(cache, 4)
+    removed, freed = cache.prune(0)
+    assert removed == 4
+    assert freed > 0
+    assert len(cache) == 0
+
+
+def test_cache_cli_info_prune_clear(tmp_path, capsys):
+    cache = RunCache(tmp_path)
+    fill(cache, 5)
+    assert main(["cache", "info", str(tmp_path)]) == 0
+    assert "5 entries" in capsys.readouterr().out
+    assert main(["cache", "prune", str(tmp_path), "--max-mb", "0.0002"]) == 0
+    assert "pruned" in capsys.readouterr().out
+    assert cache.size_bytes() <= 0.0002 * 1024 * 1024
+    assert main(["cache", "clear", str(tmp_path)]) == 0
+    assert len(cache) == 0

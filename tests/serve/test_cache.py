@@ -1,0 +1,77 @@
+"""MatrixCache: LRU eviction and RunCache rehydration."""
+
+from __future__ import annotations
+
+from repro.graphs import bfs_distances, path_graph
+from repro.harness.cache import RunCache
+from repro.serve.cache import MatrixCache
+from repro.serve.matrix import QueryFamily
+
+
+def _rows(n):
+    graph = path_graph(n)
+    return {u: bfs_distances(graph, u) for u in graph.nodes}
+
+
+def test_store_rows_then_memory_hit():
+    cache = MatrixCache()
+    family = QueryFamily.make("path:6")
+    cache.store_rows(family, 6, {2: _rows(6)[2]}, rounds=9)
+    assert cache.load_row(family, 6, 2) == "memory"
+    assert cache.load_row(family, 6, 3) is None
+    assert cache.matrix(family, 6).rounds_spent == 9
+
+
+def test_disk_rehydration_of_persisted_rows(tmp_path):
+    run_cache = RunCache(tmp_path)
+    family = QueryFamily.make("path:6")
+    warm = MatrixCache(run_cache=run_cache)
+    warm.store_rows(family, 6, {2: _rows(6)[2]}, rounds=9)
+    # A fresh cache (fresh process) finds the row on disk.
+    cold = MatrixCache(run_cache=run_cache)
+    assert cold.load_row(family, 6, 2) == "disk"
+    assert cold.load_row(family, 6, 2) == "memory"
+    assert cold.matrix(family, 6).rows[2] == _rows(6)[2]
+    assert cold.load_row(family, 6, 3) is None
+
+
+def test_disk_rehydration_of_full_matrix(tmp_path):
+    run_cache = RunCache(tmp_path)
+    family = QueryFamily.make("path:5")
+    warm = MatrixCache(run_cache=run_cache)
+    warm.store_full(family, 5, _rows(5), rounds=12)
+    cold = MatrixCache(run_cache=run_cache)
+    # A row lookup is satisfied by the persisted full matrix...
+    assert cold.load_row(family, 5, 4) == "disk"
+    matrix = cold.matrix(family, 5)
+    assert matrix.complete and matrix.rounds_spent == 12
+    # ...and a second cache rehydrates it via the full-matrix path.
+    colder = MatrixCache(run_cache=run_cache)
+    assert colder.load_full(family, 5) == "disk"
+    assert colder.load_full(family, 5) == "memory"
+
+
+def test_lru_eviction_respects_byte_budget(tmp_path):
+    run_cache = RunCache(tmp_path)
+    probe = MatrixCache()
+    probe.store_full(QueryFamily.make("probe"), 8, _rows(8), rounds=1)
+    budget = probe.size_bytes + 1   # room for ~one matrix
+    cache = MatrixCache(max_bytes=budget, run_cache=run_cache)
+    families = [QueryFamily.make(f"path:8:seed={i}") for i in range(4)]
+    for family in families:
+        cache.store_full(family, 8, _rows(8), rounds=1)
+    assert cache.evictions >= 3
+    assert cache.size_bytes <= budget
+    # The most recent family survived; an evicted one rehydrates
+    # from disk instead of reporting a cold miss.
+    assert cache.peek(families[-1]) is not None
+    assert cache.load_full(families[0], 8) == "disk"
+
+
+def test_touched_family_never_evicted():
+    cache = MatrixCache(max_bytes=1)   # nothing fits
+    family = QueryFamily.make("path:8")
+    matrix = cache.store_full(family, 8, _rows(8), rounds=1)
+    # Over budget, but the only (and just-touched) matrix stays.
+    assert cache.peek(family) is matrix
+    assert len(cache) == 1

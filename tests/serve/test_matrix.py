@@ -1,0 +1,106 @@
+"""DistanceMatrix and QueryFamily unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import protocols
+from repro.graphs import bfs_distances, cycle_graph, path_graph
+from repro.harness.hashing import canonical_json
+from repro.serve.matrix import (
+    DistanceMatrix,
+    QueryFamily,
+    row_from_record,
+    rows_from_matrix_record,
+    rows_from_ssp_summary,
+)
+
+
+def test_family_make_normalizes_params():
+    a = QueryFamily.make("path:8", "weighted-apsp",
+                         {"max_weight": 3, "weight_seed": 1})
+    b = QueryFamily.make("path:8", "weighted-apsp",
+                         {"weight_seed": 1, "max_weight": 3})
+    assert a == b
+    assert a.row_key(2) == b.row_key(2)
+    assert a.matrix_key() == b.matrix_key()
+
+
+def test_family_keys_distinguish_every_axis():
+    base = QueryFamily.make("path:8")
+    variants = [
+        QueryFamily.make("path:9"),
+        QueryFamily.make("path:8", "weighted-apsp"),
+        QueryFamily.make("path:8", seed=1),
+        QueryFamily.make("path:8", policy="lenient"),
+    ]
+    keys = {base.matrix_key()}
+    for other in variants:
+        keys.add(other.matrix_key())
+    assert len(keys) == 1 + len(variants)
+    # Row keys separate per source too.
+    assert base.row_key(1) != base.row_key(2)
+    assert base.row_key(1) != base.matrix_key()
+
+
+def test_matrix_symmetric_point_lookup():
+    family = QueryFamily.make("path:5")
+    matrix = DistanceMatrix(family=family, n=5)
+    matrix.add_row(2, bfs_distances(path_graph(5), 2))
+    # Either endpoint's row answers the query.
+    assert matrix.distance(2, 5) == 3
+    assert matrix.distance(5, 2) == 3
+    assert matrix.distance(1, 4) is None
+    assert matrix.has_row(2) and not matrix.has_row(5)
+
+
+def test_matrix_eccentricity_and_diameter():
+    graph = cycle_graph(8)
+    family = QueryFamily.make("cycle:8")
+    matrix = DistanceMatrix(family=family, n=8)
+    matrix.add_row(1, bfs_distances(graph, 1))
+    assert matrix.eccentricity(1) == 4
+    assert matrix.eccentricity(2) is None
+    assert matrix.diameter() is None          # incomplete
+    for node in range(2, 9):
+        matrix.add_row(node, bfs_distances(graph, node))
+    assert matrix.complete
+    assert matrix.diameter() == 4
+
+
+def test_add_row_is_idempotent_and_tracks_bytes():
+    family = QueryFamily.make("path:4")
+    matrix = DistanceMatrix(family=family, n=4)
+    row = bfs_distances(path_graph(4), 1)
+    matrix.add_row(1, row)
+    size = matrix.size_bytes
+    assert size > 0
+    matrix.add_row(1, {})                      # duplicate: ignored
+    assert matrix.rows[1] == row
+    assert matrix.size_bytes == size
+
+
+def test_records_round_trip_byte_identically():
+    graph = path_graph(6)
+    family = QueryFamily.make("path:6")
+    matrix = DistanceMatrix(family=family, n=6)
+    for node in graph.nodes:
+        matrix.add_row(node, bfs_distances(graph, node))
+    record = matrix.row_record(3)
+    assert row_from_record(record) == matrix.rows[3]
+    full = matrix.full_record()
+    assert rows_from_matrix_record(full) == matrix.rows
+    # Canonical JSON of the same content is stable (cacheable bytes).
+    again = DistanceMatrix(family=family, n=6)
+    again.adopt_full(rows_from_matrix_record(full), full["rounds"])
+    assert canonical_json(again.full_record()) == canonical_json(full)
+
+
+@pytest.mark.parametrize("sources", [[1], [2, 5], [1, 3, 4, 7]])
+def test_ssp_pivot_matches_bfs(sources):
+    graph = cycle_graph(9)
+    outcome = protocols.run("ssp", graph, {"sources": sources})
+    rows = rows_from_ssp_summary(outcome.summary, sources)
+    assert sorted(rows) == sorted(sources)
+    for source in sources:
+        assert rows[source] == bfs_distances(graph, source)

@@ -1,0 +1,108 @@
+"""DistanceService: correctness, tiers, persistence, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import protocols
+from repro.graphs import analysis
+from repro.graphs.specs import parse_graph
+from repro.serve import DistanceService, QueryError
+
+
+def test_distance_matches_bfs_and_warms_to_memory():
+    service = DistanceService()
+    graph = parse_graph("cycle:10")
+    first = service.distance("cycle:10", 1, 6)
+    assert first.value == analysis.bfs_distances(graph, 1)[6]
+    assert first.tier == "computed"
+    # Same row: memory.  Symmetric query: also memory (either row).
+    assert service.distance("cycle:10", 1, 4).tier == "memory"
+    assert service.distance("cycle:10", 4, 1).tier == "memory"
+    snap = service.stats.snapshot()
+    assert snap["cache"]["computed"] == 1
+    assert snap["cache"]["memory"] == 2
+    assert snap["protocol_runs"] == 1
+
+
+def test_eccentricity_and_diameter_match_oracle():
+    service = DistanceService()
+    graph = parse_graph("grid:3x4")
+    ecc = service.eccentricity("grid:3x4", 1)
+    assert ecc.value == analysis.eccentricity(graph, 1)
+    diam = service.diameter("grid:3x4")
+    assert diam.value == analysis.diameter(graph)
+    # The full matrix now answers everything from memory.
+    assert service.diameter("grid:3x4").tier == "memory"
+    assert service.distance("grid:3x4", 5, 9).tier == "memory"
+
+
+def test_weighted_backend_matches_direct_run():
+    params = {"max_weight": 3, "weight_seed": 1}
+    service = DistanceService()
+    graph = parse_graph("path:6")
+    expected = protocols.run("weighted-apsp", graph, dict(params))
+    got = service.distance("path:6", 1, 6,
+                           protocol="weighted-apsp", params=params)
+    assert got.value == expected.summary.distances[1][6]
+    assert got.tier == "computed"
+    # Different weight params are a different family (fresh run).
+    other = service.distance("path:6", 1, 6, protocol="weighted-apsp",
+                             params={"max_weight": 5, "weight_seed": 2})
+    assert service.stats.snapshot()["protocol_runs"] == 2
+    assert other.tier == "computed"
+
+
+def test_run_cache_survives_service_restart(tmp_path):
+    first = DistanceService(cache_dir=str(tmp_path))
+    first.diameter("path:9")
+    assert first.stats.snapshot()["protocol_runs"] == 1
+    # A fresh service over the same cache dir answers from disk
+    # without re-running any simulation.
+    second = DistanceService(cache_dir=str(tmp_path))
+    answer = second.diameter("path:9")
+    assert answer.tier == "disk"
+    assert answer.value == first.diameter("path:9").value
+    assert second.stats.snapshot()["protocol_runs"] == 0
+
+
+def test_point_rows_persist_per_source(tmp_path):
+    first = DistanceService(cache_dir=str(tmp_path))
+    first.distance("cycle:12", 3, 9)
+    second = DistanceService(cache_dir=str(tmp_path))
+    assert second.distance("cycle:12", 3, 9).tier == "disk"
+    # A row never computed is still a cold miss.
+    assert second.distance("cycle:12", 5, 6).tier == "computed"
+
+
+@pytest.mark.parametrize("call", [
+    lambda s: s.distance("cycle:10", 0, 3),
+    lambda s: s.distance("cycle:10", 1, 99),
+    lambda s: s.eccentricity("cycle:10", -1),
+    lambda s: s.distance("nope:10", 1, 2),
+    lambda s: s.distance("file:/does/not/exist.txt", 1, 2),
+    lambda s: s.distance("cycle:10", 1, 2, protocol="girth"),
+    lambda s: s.distance("cycle:10", 1, 2, params={"max_weight": 3}),
+])
+def test_bad_queries_raise_query_error(call):
+    service = DistanceService()
+    with pytest.raises(QueryError):
+        call(service)
+
+
+def test_obs_span_wraps_protocol_runs():
+    from repro.obs import tracing
+
+    service = DistanceService()
+    with tracing() as tracer:
+        service.distance("path:7", 1, 7)
+    spans = [record for record in tracer.records
+             if record.name == "serve_run"]
+    assert spans, "expected a serve_run span around the simulation"
+    assert spans[0].attrs["protocol"] == "ssp"
+    # Repeats are cache hits: no new span.
+    count = len(spans)
+    with tracing() as tracer2:
+        service.distance("path:7", 1, 7)
+    assert not [r for r in tracer2.records if r.name == "serve_run"]
+    assert count == 1

@@ -43,7 +43,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: The hand-written pipeline commands; everything else in the ``repro``
 #: command tree must come from the registry.
-PIPELINE_COMMANDS = {"experiment", "campaign", "trace", "bench"}
+PIPELINE_COMMANDS = {
+    "experiment", "campaign", "trace", "bench",
+    "serve", "serve-bench", "cache",
+}
 
 DOCS_TABLE = REPO_ROOT / "docs" / "protocols.md"
 
