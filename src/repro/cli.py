@@ -31,6 +31,7 @@ Examples::
     python -m repro campaign --graphs "path:{n}" --sizes 20,40 --jobs 4
     python -m repro serve --graph er:64:p=0.1:seed=1 --cache-dir .cache
     python -m repro serve-bench er:64:p=0.1:seed=1 --clients 8
+    python -m repro serve-chaos --workers 2 --kills 1 --duration 6
     python -m repro cache prune .cache --max-mb 256
 """
 
@@ -375,6 +376,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     from . import serve
 
+    chaos = None
+    if args.chaos_inject:
+        try:
+            chaos = json.loads(args.chaos_inject)
+        except ValueError as exc:
+            raise SystemExit(f"--chaos-inject must be JSON: {exc}")
     config = serve.ServerConfig(
         host=args.host,
         port=args.port,
@@ -387,6 +394,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         stats_path=args.stats_out,
         warm=tuple(args.warm or ()),
+        workers=args.workers,
+        deadline_s=None if args.deadline <= 0 else args.deadline,
+        retries=args.retries,
+        queue_depth=args.queue_depth,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        max_inflight=args.max_inflight,
+        max_body_bytes=int(args.max_body_kb * 1024),
+        read_timeout_s=None if args.read_timeout <= 0 else args.read_timeout,
+        chaos=chaos,
     )
     return serve.run_server(config)
 
@@ -426,14 +443,91 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.out:
         serve.write_artifact(report, args.out)
         print(f"artifact -> {args.out}")
+    code = 0
     if args.min_qps is not None and report["qps"] < args.min_qps:
         print(
             f"error: {report['qps']:.0f} qps is below the "
             f"--min-qps {args.min_qps:.0f} gate",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        code = 1
+    if args.compare:
+        failures = _serve_bench_regressions(
+            report, args.compare, args.threshold
+        )
+        for line in failures:
+            print(f"regression: {line}", file=sys.stderr)
+        if failures and not args.warn_only:
+            code = 1
+    return code
+
+
+def _serve_bench_regressions(
+    report: dict, baseline_path: str, threshold: float
+) -> List[str]:
+    """Compare a serve-bench artifact against a baseline artifact.
+
+    Returns human-readable regression lines: throughput below
+    ``baseline * (1 - threshold)`` or p99 above
+    ``baseline * (1 + threshold)``.  Absolute numbers are machine-
+    dependent, so CI uses a generous threshold to catch only
+    catastrophic slowdowns.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures: List[str] = []
+    base_qps = baseline.get("qps", 0.0)
+    if base_qps and report["qps"] < base_qps * (1.0 - threshold):
+        failures.append(
+            f"qps {report['qps']:.0f} < {1.0 - threshold:.0%} of "
+            f"baseline {base_qps:.0f}"
+        )
+    base_p99 = (baseline.get("latency_ms") or {}).get("p99", 0.0)
+    p99 = report["latency_ms"]["p99"]
+    if base_p99 and p99 > base_p99 * (1.0 + threshold):
+        failures.append(
+            f"p99 {p99:.2f}ms > {1.0 + threshold:.0%} of baseline "
+            f"{base_p99:.2f}ms"
+        )
+    return failures
+
+
+def cmd_serve_chaos(args: argparse.Namespace) -> int:
+    """``repro serve-chaos``: kill workers under live serving load.
+
+    Stands up a supervised server, drives cold-query load, SIGKILLs
+    workers on a schedule (optionally poisoning computes through the
+    chaos protocol), and gates on the robustness contract: zero
+    dropped queries, no internal errors, full recovery, bounded p99.
+    Exit 0 iff every check passed; ``--out`` writes the
+    ``repro-serve-chaos/1`` artifact.
+    """
+    from .serve import chaos as serve_chaos
+
+    report = serve_chaos.run_chaos(serve_chaos.ChaosOptions(
+        graph_n=args.graph_n,
+        graph_p=args.graph_p,
+        clients=args.clients,
+        duration_s=args.duration,
+        workers=args.workers,
+        kills=args.kills,
+        kill_after_s=args.kill_after,
+        kill_every_s=args.kill_every,
+        deadline_s=args.deadline,
+        retries=args.retries,
+        inject=args.inject,
+        inject_jobs=args.inject_jobs,
+        inject_attempts=args.inject_attempts,
+        hang_s=args.hang_s,
+        hit_fraction=args.hit_fraction,
+        seed=args.seed,
+        p99_budget_ms=args.p99_budget_ms,
+    ))
+    print(serve_chaos.render_summary(report))
+    if args.out:
+        serve_chaos.write_artifact(report, args.out)
+        print(f"artifact -> {args.out}")
+    return 0 if report["ok"] else 1
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -643,6 +737,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the final /stats snapshot here on "
                         "shutdown")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=2,
+                   help="supervised compute worker processes "
+                        "(0 = in-process thread; default 2)")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   help="per-compute wall-clock budget in seconds "
+                        "(<=0 disables; default 30)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="crash retries per compute job (default 1)")
+    p.add_argument("--queue-depth", type=int, default=128,
+                   help="pending compute jobs before 429 shedding "
+                        "(default 128)")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive compute failures before a "
+                        "family's circuit breaker opens "
+                        "(0 disables; default 3)")
+    p.add_argument("--breaker-reset", type=float, default=5.0,
+                   help="seconds an open breaker waits before its "
+                        "half-open probe (default 5)")
+    p.add_argument("--max-inflight", type=int, default=256,
+                   help="concurrent request cap before 429 shedding "
+                        "(0 disables; default 256)")
+    p.add_argument("--max-body-kb", type=float, default=1024.0,
+                   help="request body cap in KiB before 413 "
+                        "(default 1024)")
+    p.add_argument("--read-timeout", type=float, default=30.0,
+                   help="seconds to wait for a request body before "
+                        "dropping the connection (<=0 disables; "
+                        "default 30)")
+    p.add_argument("--chaos-inject", default=None, metavar="JSON",
+                   help="chaos plan poisoning compute jobs, e.g. "
+                        "'{\"mode\": \"crash\", \"jobs\": 2, "
+                        "\"attempts\": 1}' (testing only)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -672,8 +798,63 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the repro-serve-bench/1 JSON artifact")
     p.add_argument("--min-qps", type=float, default=None,
                    help="exit 1 if measured qps falls below this")
+    p.add_argument("--compare", default=None, metavar="BASELINE.json",
+                   help="gate this run against a baseline "
+                        "repro-serve-bench/1 artifact")
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="regression gate vs --compare: fail when qps "
+                        "drops (or p99 grows) by more than this "
+                        "fraction (default 0.5)")
+    p.add_argument("--warn-only", action="store_true",
+                   help="report --compare regressions but exit 0")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "serve-chaos",
+        help="kill serve workers under live load and gate on the "
+             "robustness contract (see docs/serving.md)",
+    )
+    p.add_argument("--graph-n", type=int, default=24,
+                   help="ER family size for the cold-query stream "
+                        "(default 24)")
+    p.add_argument("--graph-p", type=float, default=0.2)
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent keep-alive connections (default 4)")
+    p.add_argument("--duration", type=float, default=8.0,
+                   help="seconds of load (default 8)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="supervised worker processes (default 2)")
+    p.add_argument("--kills", type=int, default=1,
+                   help="workers to SIGKILL during the run (default 1)")
+    p.add_argument("--kill-after", type=float, default=1.0,
+                   help="seconds before the first kill (default 1)")
+    p.add_argument("--kill-every", type=float, default=2.0,
+                   help="seconds between kills (default 2)")
+    p.add_argument("--deadline", type=float, default=15.0,
+                   help="per-compute deadline in seconds (default 15)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="crash retries per compute job (default 2)")
+    p.add_argument("--inject", default=None,
+                   choices=["crash", "hang", "error"],
+                   help="additionally poison compute jobs through the "
+                        "chaos protocol")
+    p.add_argument("--inject-jobs", type=int, default=0,
+                   help="how many jobs --inject poisons (default 0)")
+    p.add_argument("--inject-attempts", type=int, default=1,
+                   help="poison attempts below this per job "
+                        "(1 = the crash retry succeeds; default 1)")
+    p.add_argument("--hang-s", type=float, default=30.0,
+                   help="hang duration for --inject hang (default 30)")
+    p.add_argument("--hit-fraction", type=float, default=0.25,
+                   help="fraction of repeat (cache-hit) queries "
+                        "(default 0.25)")
+    p.add_argument("--p99-budget-ms", type=float, default=30000.0,
+                   help="client p99 latency gate (default 30000)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the repro-serve-chaos/1 JSON artifact")
+    p.set_defaults(func=cmd_serve_chaos)
 
     p = sub.add_parser(
         "cache",

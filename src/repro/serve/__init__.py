@@ -16,12 +16,22 @@ Layering (transport-independent core first):
 * :mod:`~repro.serve.service` — graphs, lookups, protocol runs;
 * :mod:`~repro.serve.batch` — the per-tick source batcher;
 * :mod:`~repro.serve.stats` — the ``/stats`` counters;
+* :mod:`~repro.serve.supervisor` — the supervised worker-process
+  pool (deadlines, crash retry, respawn, chaos injection);
+* :mod:`~repro.serve.breaker` — per-family circuit breakers;
 * :mod:`~repro.serve.server` — the HTTP front end + shutdown;
-* :mod:`~repro.serve.loadgen` — the ``repro serve-bench`` harness.
+* :mod:`~repro.serve.loadgen` — the ``repro serve-bench`` harness;
+* :mod:`~repro.serve.chaos` — the ``repro serve-chaos`` harness.
 """
 
 from .batch import DEFAULT_MAX_BATCH, DEFAULT_TICK_S, SourceBatcher
+from .breaker import BreakerBoard, BreakerOpen, CircuitBreaker
 from .cache import DEFAULT_MAX_BYTES, MatrixCache
+from .chaos import (
+    SCHEMA as CHAOS_SCHEMA,
+    ChaosOptions,
+    run_chaos,
+)
 from .loadgen import (
     SCHEMA as LOADGEN_SCHEMA,
     LoadgenOptions,
@@ -32,31 +42,53 @@ from .loadgen import (
 from .matrix import DistanceMatrix, QueryFamily
 from .server import (
     DistanceServer,
+    HttpProtocolError,
     ServerConfig,
     ServerThread,
     run_server,
 )
 from .service import Answer, DistanceService, QueryError
 from .stats import ServeStats
+from .supervisor import (
+    ChaosPlan,
+    ComputeFailed,
+    DeadlineExceeded,
+    PoolSaturated,
+    Supervisor,
+    SupervisorError,
+)
 
 __all__ = [
     "Answer",
+    "BreakerBoard",
+    "BreakerOpen",
+    "CHAOS_SCHEMA",
+    "ChaosOptions",
+    "ChaosPlan",
+    "CircuitBreaker",
+    "ComputeFailed",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_BYTES",
     "DEFAULT_TICK_S",
+    "DeadlineExceeded",
     "DistanceMatrix",
     "DistanceServer",
     "DistanceService",
+    "HttpProtocolError",
     "LOADGEN_SCHEMA",
     "LoadgenOptions",
     "MatrixCache",
+    "PoolSaturated",
     "QueryError",
     "QueryFamily",
     "ServeStats",
     "ServerConfig",
     "ServerThread",
     "SourceBatcher",
+    "Supervisor",
+    "SupervisorError",
     "render_summary",
+    "run_chaos",
     "run_loadgen",
     "run_server",
     "write_artifact",

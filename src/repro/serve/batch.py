@@ -13,13 +13,19 @@ Mechanics:
 * the first request for a family opens a *window*; requests landing
   during the window (``tick_s`` seconds) join its source set, with
   duplicate sources sharing one future;
-* when the window closes, the batch runs via
+* when the window closes, the batch runs through the configured
+  **compute runner**.  The default runner executes
   :meth:`DistanceService.compute_rows` on a dedicated single-thread
-  executor — simulations are CPU-bound pure Python, so one worker
-  serializes them without stalling the event loop that is busy
-  answering cache hits;
+  executor (the PR 6 in-process path); ``repro serve --workers N``
+  installs runners backed by the supervised worker pool
+  (:mod:`repro.serve.supervisor`) instead, so a crashed or slow run
+  costs a worker process, not the server;
 * oversize windows split: at most ``max_batch`` sources per run, the
   remainder reopens a window immediately.
+
+Runner failures (worker crash budget spent, deadline exceeded, pool
+saturated) propagate to every waiter in the window; the HTTP layer
+maps them onto the 429/503/degraded contract (docs/serving.md).
 
 :meth:`drain` waits for every open window and in-flight run — the
 graceful-shutdown path, so SIGINT never drops an accepted query.
@@ -29,7 +35,7 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Set
+from typing import Awaitable, Callable, Dict, List, Optional, Set
 
 from .matrix import QueryFamily
 from .service import DistanceService
@@ -41,6 +47,12 @@ DEFAULT_TICK_S = 0.005
 #: Algorithm 2's round cost is linear in |S|; cap a single batch so one
 #: huge window cannot monopolize the simulation worker.
 DEFAULT_MAX_BATCH = 64
+
+#: A compute runner for batched rows: ``await run_rows(family, sources)``.
+RowsRunner = Callable[[QueryFamily, List[int]], Awaitable[None]]
+
+#: A compute runner for full matrices: ``await run_full(family)``.
+FullRunner = Callable[[QueryFamily], Awaitable[None]]
 
 
 class _Window:
@@ -63,16 +75,43 @@ class SourceBatcher:
         *,
         tick_s: float = DEFAULT_TICK_S,
         max_batch: int = DEFAULT_MAX_BATCH,
+        run_rows: Optional[RowsRunner] = None,
+        run_full: Optional[FullRunner] = None,
     ) -> None:
         self.service = service
         self.tick_s = tick_s
         self.max_batch = max(1, int(max_batch))
         self._windows: Dict[QueryFamily, _Window] = {}
         self._inflight: Set[asyncio.Task] = set()
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-sim"
-        )
+        self._run_rows: RowsRunner = run_rows or self._thread_rows
+        self._run_full: FullRunner = run_full or self._thread_full
+        self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
+
+    # -- the default (in-process) compute runner ---------------------------
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        # Simulations are CPU-bound pure Python, so one worker thread
+        # serializes them without stalling the event loop that is busy
+        # answering cache hits.
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve-sim"
+            )
+        return self._executor
+
+    async def _thread_rows(
+        self, family: QueryFamily, sources: List[int]
+    ) -> None:
+        await asyncio.get_running_loop().run_in_executor(
+            self._ensure_executor(),
+            self.service.compute_rows, family, sources,
+        )
+
+    async def _thread_full(self, family: QueryFamily) -> None:
+        await asyncio.get_running_loop().run_in_executor(
+            self._ensure_executor(), self.service.compute_full, family
+        )
 
     # -- request side ------------------------------------------------------
 
@@ -101,12 +140,7 @@ class SourceBatcher:
 
     async def full(self, family: QueryFamily) -> None:
         """Ensure the complete matrix is cached (no coalescing axis)."""
-        loop = asyncio.get_running_loop()
-        task = asyncio.ensure_future(
-            loop.run_in_executor(
-                self._executor, self.service.compute_full, family
-            )
-        )
+        task = asyncio.ensure_future(self._run_full(family))
         self._track(task)
         await asyncio.shield(task)
 
@@ -122,12 +156,8 @@ class SourceBatcher:
         await asyncio.sleep(self.tick_s)
         if self._windows.get(family) is window:
             del self._windows[family]
-        loop = asyncio.get_running_loop()
         try:
-            await loop.run_in_executor(
-                self._executor,
-                self.service.compute_rows, family, list(window.sources),
-            )
+            await self._run_rows(family, list(window.sources))
         except BaseException as exc:  # propagate to every waiter
             for future in window.waiters.values():
                 if not future.done():
@@ -157,5 +187,6 @@ class SourceBatcher:
         return drained
 
     def close(self) -> None:
-        """Release the simulation worker thread."""
-        self._executor.shutdown(wait=True)
+        """Release the in-process simulation worker thread, if any."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)

@@ -1,0 +1,175 @@
+"""Per-family circuit breakers for the serving compute path.
+
+A query family whose computes keep failing (crashing workers, chaos,
+a pathological graph) should stop consuming pool capacity: after
+``threshold`` *consecutive* failures the family's breaker opens and
+requests fail fast with ``503 Retry-After`` instead of queueing doomed
+work.  After ``reset_s`` the breaker goes half-open and admits exactly
+one probe; a successful probe closes it, a failed probe re-opens it
+for another window.
+
+The breaker counts compute *runs*, not waiters: the HTTP layer checks
+:meth:`CircuitBreaker.allow` per request but records success/failure
+once per underlying pool job, so a coalesced batch that fails charges
+one failure, not one per rider.
+
+Time is injectable (``clock``) so the state machine is unit-testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+#: Consecutive compute failures before a family's breaker opens.
+DEFAULT_THRESHOLD = 3
+
+#: Seconds an open breaker rejects before admitting a half-open probe.
+DEFAULT_RESET_S = 5.0
+
+
+class BreakerOpen(RuntimeError):
+    """Fail-fast rejection: the family's breaker is open (HTTP 503)."""
+
+    def __init__(self, key: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"circuit breaker for {key!r} is open; "
+            f"retry in {retry_after_s:.1f}s"
+        )
+        self.key = key
+        self.retry_after_s = retry_after_s
+
+
+class CircuitBreaker:
+    """One closed → open → half-open → closed state machine."""
+
+    def __init__(
+        self,
+        *,
+        threshold: int = DEFAULT_THRESHOLD,
+        reset_s: float = DEFAULT_RESET_S,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = max(1, int(threshold))
+        self.reset_s = float(reset_s)
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        self.opened_count = 0
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``closed`` | ``open`` | ``half-open`` (time-dependent)."""
+        if self._opened_at is None:
+            return "closed"
+        if self._probing:
+            return "half-open"
+        if self._clock() - self._opened_at >= self.reset_s:
+            return "half-open"
+        return "open"
+
+    def retry_after_s(self) -> float:
+        """Seconds until the next probe would be admitted."""
+        if self._opened_at is None:
+            return 0.0
+        return max(
+            0.0, self.reset_s - (self._clock() - self._opened_at)
+        )
+
+    # -- transitions -------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether a compute may proceed now.
+
+        In the half-open window the *first* caller becomes the probe;
+        concurrent callers keep being rejected until the probe settles.
+        """
+        if self._opened_at is None:
+            return True
+        if self._probing:
+            return False
+        if self._clock() - self._opened_at >= self.reset_s:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A compute finished: reset to closed."""
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """A compute failed: count it; trip or re-open as needed."""
+        if self._probing:
+            # The half-open probe failed: re-open a full window.
+            self._probing = False
+            self._opened_at = self._clock()
+            self.opened_count += 1
+            return
+        self._failures += 1
+        if self._opened_at is None and self._failures >= self.threshold:
+            self._opened_at = self._clock()
+            self.opened_count += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-pure view for ``/stats``."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._failures,
+            "opened_count": self.opened_count,
+            "retry_after_s": round(self.retry_after_s(), 3),
+        }
+
+
+class BreakerBoard:
+    """The per-query-family breaker registry the server consults."""
+
+    def __init__(
+        self,
+        *,
+        threshold: int = DEFAULT_THRESHOLD,
+        reset_s: float = DEFAULT_RESET_S,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self._clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, key: str) -> CircuitBreaker:
+        """The breaker for ``key`` (created closed on first touch)."""
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.threshold,
+                reset_s=self.reset_s,
+                clock=self._clock,
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def check(self, key: str) -> None:
+        """Raise :class:`BreakerOpen` unless ``key`` may compute now."""
+        breaker = self.breaker(key)
+        if not breaker.allow():
+            raise BreakerOpen(key, breaker.retry_after_s())
+
+    def record_success(self, key: str) -> None:
+        """Record one successful compute run against ``key``."""
+        self.breaker(key).record_success()
+
+    def record_failure(self, key: str) -> None:
+        """Record one failed compute run against ``key``."""
+        self.breaker(key).record_failure()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-pure per-key view for the ``/stats`` section."""
+        return {
+            key: breaker.snapshot()
+            for key, breaker in sorted(self._breakers.items())
+        }

@@ -5,7 +5,8 @@ with keep-alive, because the service's job — parse a query string,
 answer from a resident matrix — needs nothing more.  Endpoints:
 
 ====================  ======================================================
-``GET /healthz``      liveness probe
+``GET /healthz``      liveness probe (200 while the process runs)
+``GET /readyz``       readiness: 200 only with a full worker complement
 ``GET /graphs``       loaded graphs (spec, n, m)
 ``POST /graphs``      ``{"spec": "er:64:p=0.1:seed=1"}`` — preload a graph
 ``GET /distance``     ``?graph=SPEC&source=U&target=V[&protocol=P…]``
@@ -20,10 +21,28 @@ repeats never re-run a simulation.  Cold misses are routed through the
 :class:`~repro.serve.batch.SourceBatcher`, so concurrent misses against
 one graph coalesce into a single Algorithm 2 run.
 
+Robustness contract (docs/serving.md "Failure modes"):
+
+* with ``workers > 0`` cold computes run in the supervised
+  multiprocess pool (:mod:`repro.serve.supervisor`): per-request
+  deadlines, crash retries, automatic respawn;
+* admission control sheds with ``429 Retry-After`` — both the HTTP
+  in-flight cap (``max_inflight``) and pool-queue saturation; cache
+  hits (memory or disk tier) keep being served while the pool is full;
+* a per-family circuit breaker (:mod:`repro.serve.breaker`) trips
+  after repeated compute failures and answers ``503 Retry-After``;
+* an exact ``/diameter`` that misses its deadline degrades to the
+  paper's 2-vs-4 classification (Algorithm 3) — the answer carries
+  ``degraded: true`` and the approximation metadata;
+* malformed ``Content-Length`` gets ``400``, oversize bodies ``413``,
+  and a stalled body read is dropped after ``read_timeout_s`` without
+  leaking the in-flight counter.
+
 Shutdown is drain-first: SIGINT/SIGTERM (or
 :meth:`DistanceServer.shutdown`) stops accepting connections, flushes
-every open batch window, answers in-flight requests, then flushes the
-stats snapshot.  ``repro serve`` exits 0 on a drained shutdown.
+every open batch window, answers in-flight requests, drains the worker
+pool, then flushes the stats snapshot.  ``repro serve`` exits 0 on a
+drained shutdown.
 """
 
 from __future__ import annotations
@@ -36,21 +55,66 @@ import threading
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from .batch import DEFAULT_MAX_BATCH, DEFAULT_TICK_S, SourceBatcher
+from .breaker import (
+    DEFAULT_RESET_S,
+    DEFAULT_THRESHOLD,
+    BreakerBoard,
+    BreakerOpen,
+)
+from .matrix import QueryFamily
 from .service import DistanceService, QueryError
+from .supervisor import (
+    DEFAULT_DEADLINE_S,
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_RETRIES,
+    DEFAULT_WORKERS,
+    ComputeFailed,
+    DeadlineExceeded,
+    PoolSaturated,
+    Supervisor,
+    retry_after_header,
+)
 
 #: Seconds shutdown waits for in-flight request handlers after the
 #: batcher drained before force-closing connections.
 DRAIN_GRACE_S = 10.0
 
+#: Default cap on request body size (satellite of ISSUE 7: a huge
+#: ``Content-Length`` must not buffer unboundedly).
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+#: Default budget for reading one request's body off the socket.
+DEFAULT_READ_TIMEOUT_S = 30.0
+
+#: Default cap on concurrently handled requests (0 disables).
+DEFAULT_MAX_INFLIGHT = 256
+
+#: Seconds ``/readyz`` stays not-ready after a crash respawn.
+DEFAULT_READY_SETTLE_S = 0.25
+
+#: Endpoints exempt from admission control: probes and observability
+#: must answer even when the server is shedding query load.
+_ADMISSION_EXEMPT = frozenset({"/healthz", "/readyz", "/stats"})
+
 _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 500: "Internal Server Error",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+
+class HttpProtocolError(Exception):
+    """A request the HTTP layer rejects before routing (400/413)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
 
 
 @dataclass
@@ -69,8 +133,21 @@ class Request:
         return self.headers.get("connection", "").lower() != "close"
 
 
-async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
-    """Parse one request off the stream; ``None`` on EOF/reset."""
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    read_timeout_s: Optional[float] = None,
+) -> Optional[Request]:
+    """Parse one request off the stream.
+
+    Returns ``None`` on EOF/reset or when the body stalls past
+    ``read_timeout_s`` (the caller drops the connection).  Raises
+    :class:`HttpProtocolError` for requests that deserve an explicit
+    rejection: a malformed ``Content-Length`` (400) or a declared body
+    over ``max_body_bytes`` (413) — neither may crash the handler or
+    buffer unboundedly.
+    """
     try:
         head = await reader.readuntil(b"\r\n\r\n")
     except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
@@ -86,12 +163,33 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
         if ":" in line:
             key, value = line.split(":", 1)
             headers[key.strip().lower()] = value.strip()
+    raw_length = headers.get("content-length", "").strip()
+    try:
+        length = int(raw_length) if raw_length else 0
+    except ValueError:
+        raise HttpProtocolError(
+            400, f"invalid Content-Length header {raw_length!r}"
+        )
+    if length < 0:
+        raise HttpProtocolError(
+            400, f"invalid Content-Length header {raw_length!r}"
+        )
+    if length > max_body_bytes:
+        raise HttpProtocolError(
+            413,
+            f"request body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit",
+        )
     body = b""
-    length = int(headers.get("content-length", 0) or 0)
     if length:
         try:
-            body = await reader.readexactly(length)
-        except (asyncio.IncompleteReadError, ConnectionError):
+            read = reader.readexactly(length)
+            if read_timeout_s is not None:
+                body = await asyncio.wait_for(read, read_timeout_s)
+            else:
+                body = await read
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.TimeoutError):
             return None
     split = urlsplit(target)
     query = {
@@ -105,15 +203,23 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
 
 
 def encode_response(
-    status: int, payload: Any, *, keep_alive: bool
+    status: int,
+    payload: Any,
+    *,
+    keep_alive: bool,
+    headers: Optional[Mapping[str, str]] = None,
 ) -> bytes:
-    """Serialize one JSON response."""
+    """Serialize one JSON response (plus optional extra headers)."""
     body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extra}"
         f"\r\n"
     ).encode("latin-1")
     return head + body
@@ -131,6 +237,18 @@ class DistanceServer:
         tick_s: float = DEFAULT_TICK_S,
         max_batch: int = DEFAULT_MAX_BATCH,
         stats_path: Optional[str] = None,
+        workers: int = 0,
+        deadline_s: Optional[float] = DEFAULT_DEADLINE_S,
+        retries: int = DEFAULT_RETRIES,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        chaos: Optional[Mapping[str, Any]] = None,
+        breaker_threshold: int = DEFAULT_THRESHOLD,
+        breaker_reset_s: float = DEFAULT_RESET_S,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        read_timeout_s: Optional[float] = DEFAULT_READ_TIMEOUT_S,
+        ready_settle_s: float = DEFAULT_READY_SETTLE_S,
+        degrade: bool = True,
         log=None,
     ) -> None:
         self.service = service if service is not None else DistanceService()
@@ -138,8 +256,32 @@ class DistanceServer:
         self._requested_port = port
         self.port: Optional[int] = None
         self.stats_path = stats_path
+        self.max_inflight = max(0, int(max_inflight))
+        self.max_body_bytes = max_body_bytes
+        self.read_timeout_s = read_timeout_s
+        self.ready_settle_s = ready_settle_s
+        self.degrade = degrade
+        self.supervisor: Optional[Supervisor] = None
+        run_rows = run_full = None
+        if workers > 0:
+            self.supervisor = Supervisor(
+                self.service,
+                workers=workers,
+                deadline_s=deadline_s,
+                retries=retries,
+                queue_depth=queue_depth,
+                chaos=chaos,
+            )
+            run_rows, run_full = self._pool_rows, self._pool_full
         self.batcher = SourceBatcher(
-            self.service, tick_s=tick_s, max_batch=max_batch
+            self.service, tick_s=tick_s, max_batch=max_batch,
+            run_rows=run_rows, run_full=run_full,
+        )
+        self.breakers = (
+            BreakerBoard(
+                threshold=breaker_threshold, reset_s=breaker_reset_s
+            )
+            if breaker_threshold > 0 else None
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._log = log or (lambda msg: print(msg, file=sys.stderr))
@@ -148,11 +290,22 @@ class DistanceServer:
         self._idle = asyncio.Event()
         self._idle.set()
         self._connections: set = set()
+        self._shed = 0
+        self._protocol_errors = 0
+        self._degraded = 0
+        stats = self.service.stats
+        stats.set_section("admission", self._admission_snapshot)
+        if self.supervisor is not None:
+            stats.set_section("supervisor", self.supervisor.snapshot)
+        if self.breakers is not None:
+            stats.set_section("breakers", self.breakers.snapshot)
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind and start accepting connections."""
+        """Start the worker pool (if any), bind, and accept."""
+        if self.supervisor is not None:
+            await self.supervisor.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
@@ -163,8 +316,8 @@ class DistanceServer:
 
         Order matters: stop accepting, flush open batch windows (so
         every accepted query can be answered), wait for in-flight
-        handlers, then close lingering keep-alive connections and
-        flush the stats snapshot.
+        handlers, drain and stop the worker pool, then close lingering
+        keep-alive connections and flush the stats snapshot.
         """
         self._stopping = True
         if self._server is not None:
@@ -176,6 +329,9 @@ class DistanceServer:
             forced = 0
         except asyncio.TimeoutError:
             forced = self._active_requests
+        if self.supervisor is not None:
+            await self.supervisor.drain()
+            await self.supervisor.close()
         for writer in list(self._connections):
             writer.close()
         self.batcher.close()
@@ -190,6 +346,76 @@ class DistanceServer:
             "stats": snapshot,
         }
 
+    # -- pool-backed compute runners (breaker recording per run) -----------
+
+    @staticmethod
+    def _breaker_key(family: QueryFamily) -> str:
+        return f"{family.graph_spec}|{family.protocol}"
+
+    async def _pool_rows(
+        self, family: QueryFamily, sources: List[int]
+    ) -> None:
+        key = self._breaker_key(family)
+        try:
+            await self.supervisor.rows(family, sources)
+        except (DeadlineExceeded, ComputeFailed):
+            if self.breakers is not None:
+                self.breakers.record_failure(key)
+            raise
+        else:
+            if self.breakers is not None:
+                self.breakers.record_success(key)
+
+    async def _pool_full(self, family: QueryFamily) -> None:
+        key = self._breaker_key(family)
+        try:
+            await self.supervisor.full(family)
+        except (DeadlineExceeded, ComputeFailed):
+            if self.breakers is not None:
+                self.breakers.record_failure(key)
+            raise
+        else:
+            if self.breakers is not None:
+                self.breakers.record_success(key)
+
+    # -- readiness / admission snapshots -----------------------------------
+
+    def readiness(self) -> Tuple[bool, Dict[str, Any]]:
+        """Readiness verdict plus its JSON-pure evidence.
+
+        Liveness (``/healthz``) answers "is the process up"; readiness
+        answers "can it take full query load": not stopping, and —
+        when supervised — every configured worker alive.  A killed
+        worker flips this false until the respawn lands.
+        """
+        detail: Dict[str, Any] = {"stopping": self._stopping}
+        if self._stopping:
+            return False, detail
+        if self.supervisor is None:
+            return True, detail
+        alive = self.supervisor.live_workers()
+        detail["workers"] = {
+            "alive": alive, "configured": self.supervisor.workers,
+        }
+        if alive < self.supervisor.workers:
+            return False, detail
+        # Settle window: a crash respawn keeps readiness false briefly
+        # so the disruption is observable (respawning is near-instant).
+        age = self.supervisor.respawn_age_s()
+        if age is not None and age < self.ready_settle_s:
+            detail["settling"] = True
+            return False, detail
+        return True, detail
+
+    def _admission_snapshot(self) -> Dict[str, Any]:
+        return {
+            "max_inflight": self.max_inflight,
+            "in_flight": self._active_requests,
+            "shed": self._shed,
+            "protocol_errors": self._protocol_errors,
+            "degraded_answers": self._degraded,
+        }
+
     # -- connection handling -----------------------------------------------
 
     def _request_started(self) -> None:
@@ -201,6 +427,19 @@ class DistanceServer:
         if self._active_requests == 0:
             self._idle.set()
 
+    def _shed_response(self, request: Request) -> Tuple[int, Any, Dict]:
+        self._shed += 1
+        retry_s = 1.0
+        return (
+            429,
+            {
+                "error": "server is at its in-flight request cap; "
+                         "retry shortly",
+                "retry_after_s": retry_s,
+            },
+            {"Retry-After": retry_after_header(retry_s)},
+        )
+
     async def _handle_connection(
         self,
         reader: asyncio.StreamReader,
@@ -209,23 +448,49 @@ class DistanceServer:
         self._connections.add(writer)
         try:
             while True:
-                request = await read_request(reader)
+                try:
+                    request = await read_request(
+                        reader,
+                        max_body_bytes=self.max_body_bytes,
+                        read_timeout_s=self.read_timeout_s,
+                    )
+                except HttpProtocolError as exc:
+                    # Reject explicitly, then drop the connection: the
+                    # unread body bytes would desynchronize keep-alive.
+                    self._protocol_errors += 1
+                    writer.write(encode_response(
+                        exc.status, {"error": exc.message},
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    break
                 if request is None:
                     break
                 keep_alive = request.keep_alive and not self._stopping
-                self._request_started()
+                shed = (
+                    self.max_inflight
+                    and request.path not in _ADMISSION_EXEMPT
+                    and self._active_requests >= self.max_inflight
+                )
                 started = time.perf_counter()
-                try:
-                    status, payload = await self._dispatch(request)
-                finally:
-                    elapsed = time.perf_counter() - started
-                    self._request_finished()
+                if shed:
+                    status, payload, headers = self._shed_response(request)
+                else:
+                    self._request_started()
+                    try:
+                        status, payload, headers = await self._dispatch(
+                            request
+                        )
+                    finally:
+                        self._request_finished()
+                elapsed = time.perf_counter() - started
                 self.service.stats.observe_request(
                     request.path, elapsed, ok=status < 400
                 )
-                writer.write(
-                    encode_response(status, payload, keep_alive=keep_alive)
-                )
+                writer.write(encode_response(
+                    status, payload,
+                    keep_alive=keep_alive, headers=headers,
+                ))
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -241,29 +506,65 @@ class DistanceServer:
 
     # -- routing -----------------------------------------------------------
 
-    async def _dispatch(self, request: Request) -> Tuple[int, Any]:
+    async def _dispatch(
+        self, request: Request
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
         try:
             if request.path == "/healthz":
-                return 200, {"ok": True}
+                return 200, {"ok": True}, None
+            if request.path == "/readyz":
+                ready, detail = self.readiness()
+                return (
+                    200 if ready else 503,
+                    {"ready": ready, **detail},
+                    None,
+                )
             if request.path == "/stats":
-                return 200, self.service.stats.snapshot()
+                return 200, self.service.stats.snapshot(), None
             if request.path == "/graphs":
-                return await self._route_graphs(request)
+                status, payload = await self._route_graphs(request)
+                return status, payload, None
             if request.path == "/distance":
-                return await self._route_distance(request)
+                status, payload = await self._route_distance(request)
+                return status, payload, None
             if request.path == "/eccentricity":
-                return await self._route_eccentricity(request)
+                status, payload = await self._route_eccentricity(request)
+                return status, payload, None
             if request.path == "/diameter":
-                return await self._route_diameter(request)
-            return 404, {"error": f"no such endpoint {request.path!r}"}
+                status, payload = await self._route_diameter(request)
+                return status, payload, None
+            return 404, {"error": f"no such endpoint {request.path!r}"}, None
         except QueryError as exc:
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc)}, None
+        except PoolSaturated as exc:
+            return (
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                {"Retry-After": retry_after_header(exc.retry_after_s)},
+            )
+        except BreakerOpen as exc:
+            return (
+                503,
+                {
+                    "error": str(exc),
+                    "retry_after_s": round(exc.retry_after_s, 3),
+                },
+                {"Retry-After": retry_after_header(exc.retry_after_s)},
+            )
+        except DeadlineExceeded as exc:
+            return (
+                503,
+                {"error": f"deadline exceeded: {exc}"},
+                {"Retry-After": "1"},
+            )
+        except ComputeFailed as exc:
+            return 500, {"error": f"compute failed: {exc}"}, None
         except Exception as exc:  # defensive: a 500 must not kill the loop
             self._log(
                 f"repro-serve: internal error on {request.path}: "
                 f"{exc}\n{traceback.format_exc()}"
             )
-            return 500, {"error": f"internal error: {exc}"}
+            return 500, {"error": f"internal error: {exc}"}, None
 
     # -- endpoint helpers --------------------------------------------------
 
@@ -293,10 +594,20 @@ class DistanceServer:
             self._required(request, "graph"), protocol, params
         )
 
+    def _check_breaker(self, family: QueryFamily) -> None:
+        if self.breakers is not None:
+            self.breakers.check(self._breaker_key(family))
+
     async def _ensure_row(self, family, node: int) -> str:
-        """Async row materialization: cache tiers, then the batcher."""
+        """Async row materialization: cache tiers, then the batcher.
+
+        Cache hits (memory or disk) bypass admission and the breaker
+        entirely — a saturated pool or a tripped family still serves
+        everything the two cache tiers hold.
+        """
         tier = self.service.lookup_row(family, node)
         if tier is None:
+            self._check_breaker(family)
             await self.batcher.row(family, node)
             tier = "computed"
         self.service.stats.observe_tier(tier)
@@ -361,13 +672,39 @@ class DistanceServer:
         family = self._family(request)
         tier = self.service.lookup_full(family)
         if tier is None:
-            await self.batcher.full(family)
+            self._check_breaker(family)
+            try:
+                await self.batcher.full(family)
+            except DeadlineExceeded:
+                if self.supervisor is None or not self.degrade:
+                    raise
+                return await self._degraded_diameter(family)
             tier = "computed"
         self.service.stats.observe_tier(tier)
         value = self.service.matrix(family).diameter()
         return 200, {
             "graph": family.graph_spec, "protocol": family.protocol,
-            "diameter": value, "tier": tier,
+            "diameter": value, "tier": tier, "degraded": False,
+        }
+
+    async def _degraded_diameter(self, family) -> Tuple[int, Any]:
+        """Deadline-missed fallback: the 2-vs-4 classification.
+
+        Algorithm 3 answers in Õ(√n) rounds instead of Algorithm 1's
+        O(n), so it fits a deadline the exact run missed.  The verdict
+        is exact on diameter-{2,4} promise graphs; in general ``2``
+        certifies diameter ≤ 2 and ``4`` certifies diameter ≥ 3 —
+        a factor-2 classification, flagged ``degraded`` so clients can
+        retry for the exact answer later.
+        """
+        verdict = await self.supervisor.approx_diameter(family)
+        self._degraded += 1
+        return 200, {
+            "graph": family.graph_spec, "protocol": family.protocol,
+            "diameter": verdict, "tier": "degraded",
+            "degraded": True,
+            "approximation": "two-vs-four",
+            "approximation_factor": 2,
         }
 
 
@@ -392,6 +729,38 @@ class ServerConfig:
     stats_path: Optional[str] = None
     #: Extra graph specs to warm (full APSP matrix) before serving.
     warm: Tuple[str, ...] = ()
+    #: Supervised worker processes (0 = in-process compute thread).
+    workers: int = DEFAULT_WORKERS
+    deadline_s: Optional[float] = DEFAULT_DEADLINE_S
+    retries: int = DEFAULT_RETRIES
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    breaker_threshold: int = DEFAULT_THRESHOLD
+    breaker_reset_s: float = DEFAULT_RESET_S
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    read_timeout_s: Optional[float] = DEFAULT_READ_TIMEOUT_S
+    #: Chaos-injection plan (tests / the serve-chaos harness only).
+    chaos: Optional[Dict[str, Any]] = None
+
+
+def _server_kwargs(config: ServerConfig) -> Dict[str, Any]:
+    return dict(
+        host=config.host,
+        port=config.port,
+        tick_s=config.tick_s,
+        max_batch=config.max_batch,
+        stats_path=config.stats_path,
+        workers=config.workers,
+        deadline_s=config.deadline_s,
+        retries=config.retries,
+        queue_depth=config.queue_depth,
+        breaker_threshold=config.breaker_threshold,
+        breaker_reset_s=config.breaker_reset_s,
+        max_inflight=config.max_inflight,
+        max_body_bytes=config.max_body_bytes,
+        read_timeout_s=config.read_timeout_s,
+        chaos=config.chaos,
+    )
 
 
 async def _serve_main(config: ServerConfig) -> int:
@@ -403,14 +772,7 @@ async def _serve_main(config: ServerConfig) -> int:
     )
     for spec in config.graphs:
         service.load_graph(spec)
-    server = DistanceServer(
-        service,
-        host=config.host,
-        port=config.port,
-        tick_s=config.tick_s,
-        max_batch=config.max_batch,
-        stats_path=config.stats_path,
-    )
+    server = DistanceServer(service, **_server_kwargs(config))
     await server.start()
     for spec in config.warm:
         family = service.family_for(spec)
@@ -422,7 +784,8 @@ async def _serve_main(config: ServerConfig) -> int:
         loop.add_signal_handler(signum, stop.set)
     print(
         f"repro-serve: ready on http://{server.host}:{server.port} "
-        f"({len(config.graphs)} graph(s) preloaded)",
+        f"({len(config.graphs)} graph(s) preloaded, "
+        f"{config.workers} worker(s))",
         flush=True,
     )
     await stop.wait()
@@ -452,6 +815,10 @@ class ServerThread:
         with ServerThread(graphs=["path:16"]) as handle:
             urllib.request.urlopen(
                 f"http://127.0.0.1:{handle.port}/healthz")
+
+    Extra keyword arguments (``workers``, ``deadline_s``, ``chaos``,
+    ``max_inflight``, …) pass through to :class:`DistanceServer`, so
+    tests can stand up a fully supervised instance.
     """
 
     def __init__(
@@ -464,13 +831,14 @@ class ServerThread:
         tick_s: float = DEFAULT_TICK_S,
         max_batch: int = DEFAULT_MAX_BATCH,
         stats_path: Optional[str] = None,
+        **server_kwargs: Any,
     ) -> None:
         self.service = service if service is not None else DistanceService()
         for spec in graphs:
             self.service.load_graph(spec)
         self._kwargs = dict(
             host=host, port=port, tick_s=tick_s, max_batch=max_batch,
-            stats_path=stats_path,
+            stats_path=stats_path, **server_kwargs,
         )
         self.server: Optional[DistanceServer] = None
         self.port: Optional[int] = None

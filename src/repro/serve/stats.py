@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional
 
 #: Per-endpoint latency samples retained for percentile computation.
 LATENCY_WINDOW = 4096
@@ -65,6 +65,17 @@ class ServeStats:
         self._batch_rounds = 0
         self._sequential_rounds_estimate = 0
         self._protocol_runs = 0
+        #: Extra snapshot sections (supervisor, breakers, admission…)
+        #: registered by the server; each provider returns a JSON-pure
+        #: dict and is called *outside* the stats lock.
+        self._sections: Dict[str, Callable[[], Dict[str, Any]]] = {}
+
+    def set_section(
+        self, name: str, provider: Callable[[], Dict[str, Any]]
+    ) -> None:
+        """Register an extra ``/stats`` section (idempotent by name)."""
+        with self._lock:
+            self._sections[name] = provider
 
     # -- recording ---------------------------------------------------------
 
@@ -152,7 +163,7 @@ class ServeStats:
                     0, self._sequential_rounds_estimate - self._batch_rounds
                 ),
             }
-            return {
+            out = {
                 "uptime_s": time.time() - self._started,
                 "endpoints": endpoints,
                 "cache": {
@@ -164,3 +175,7 @@ class ServeStats:
                 "batches": batches,
                 "protocol_runs": self._protocol_runs,
             }
+            sections = dict(self._sections)
+        for name, provider in sections.items():
+            out[name] = provider()
+        return out

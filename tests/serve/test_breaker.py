@@ -1,0 +1,126 @@
+"""Unit tests for the circuit-breaker state machine (injected clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import BreakerBoard, BreakerOpen, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make(clock, threshold=3, reset_s=5.0):
+    return CircuitBreaker(
+        threshold=threshold, reset_s=reset_s, clock=clock
+    )
+
+
+def test_stays_closed_below_threshold(clock):
+    breaker = make(clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+    assert breaker.retry_after_s() == 0.0
+
+
+def test_success_resets_the_failure_streak(clock):
+    breaker = make(clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed"  # streak broken, never reached 3
+
+
+def test_opens_at_threshold_and_rejects(clock):
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.opened_count == 1
+    assert not breaker.allow()
+    clock.advance(2.0)
+    assert breaker.retry_after_s() == pytest.approx(3.0)
+    assert not breaker.allow()
+
+
+def test_half_open_admits_exactly_one_probe(clock):
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.state == "half-open"
+    assert breaker.allow()        # the probe
+    assert not breaker.allow()    # concurrent caller rejected
+    assert breaker.state == "half-open"
+
+
+def test_probe_success_closes(clock):
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+    assert breaker.snapshot()["consecutive_failures"] == 0
+
+
+def test_probe_failure_reopens_a_full_window(clock):
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.opened_count == 2
+    assert breaker.retry_after_s() == pytest.approx(5.0)
+    # ... and the *next* window's probe can still recover.
+    clock.advance(5.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+
+def test_board_isolates_keys_and_raises(clock):
+    board = BreakerBoard(threshold=2, reset_s=5.0, clock=clock)
+    board.record_failure("bad")
+    board.record_failure("bad")
+    with pytest.raises(BreakerOpen) as excinfo:
+        board.check("bad")
+    assert excinfo.value.key == "bad"
+    assert excinfo.value.retry_after_s == pytest.approx(5.0)
+    board.check("good")  # other families unaffected
+    snap = board.snapshot()
+    assert snap["bad"]["state"] == "open"
+    assert snap["good"]["state"] == "closed"
+
+
+def test_board_recovery_roundtrip(clock):
+    board = BreakerBoard(threshold=1, reset_s=2.0, clock=clock)
+    board.record_failure("k")
+    with pytest.raises(BreakerOpen):
+        board.check("k")
+    clock.advance(2.0)
+    board.check("k")  # half-open probe admitted
+    board.record_success("k")
+    board.check("k")  # closed again
+    assert board.snapshot()["k"]["state"] == "closed"

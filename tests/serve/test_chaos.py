@@ -1,0 +1,77 @@
+"""Smoke tests for the serve-chaos harness (short, CI-friendly runs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.chaos import ChaosOptions, run_chaos, write_artifact
+
+
+def test_chaos_run_kill_one_worker(tmp_path):
+    report = run_chaos(ChaosOptions(
+        graph_n=16,
+        clients=2,
+        duration_s=3.0,
+        workers=2,
+        kills=1,
+        kill_after_s=0.5,
+        deadline_s=20.0,
+        seed=7,
+    ))
+    assert report["schema"] == "repro-serve-chaos/1"
+    assert report["dropped"] == 0
+    assert report["requests"] > 0
+    assert report["statuses"].get(200, 0) > 0
+    checks = {check["name"]: check["ok"] for check in report["checks"]}
+    assert checks["zero_dropped_queries"]
+    assert checks["no_internal_errors"]
+    assert checks["kills_performed"]
+    assert checks["workers_respawned"]
+    assert checks["readyz_flipped"]
+    assert checks["full_recovery"]
+    assert report["ok"], report["checks"]
+    # The artifact round-trips as JSON.
+    out = tmp_path / "chaos.json"
+    write_artifact(report, str(out))
+    assert json.loads(out.read_text())["ok"] is True
+
+
+def test_chaos_run_with_crash_injection():
+    report = run_chaos(ChaosOptions(
+        graph_n=16,
+        clients=2,
+        duration_s=2.5,
+        workers=2,
+        kills=0,
+        inject="crash",
+        inject_jobs=2,
+        inject_attempts=1,
+        retries=2,
+        deadline_s=20.0,
+        seed=11,
+    ))
+    supervisor = report["server_stats"]["supervisor"]
+    # The injected crashes were retried into successes: no 500s.
+    assert report["ok"], report["checks"]
+    assert supervisor["crashes"] >= 2
+    assert supervisor["requeues"] >= 2
+    assert report["statuses"].get(500, 0) == 0
+
+
+@pytest.mark.slow
+def test_chaos_run_long_with_kills_and_hangs():
+    report = run_chaos(ChaosOptions(
+        clients=4,
+        duration_s=8.0,
+        workers=2,
+        kills=2,
+        kill_after_s=1.0,
+        kill_every_s=2.5,
+        inject="crash",
+        inject_jobs=3,
+        retries=2,
+        seed=3,
+    ))
+    assert report["ok"], report["checks"]

@@ -45,7 +45,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 #: command tree must come from the registry.
 PIPELINE_COMMANDS = {
     "experiment", "campaign", "trace", "bench",
-    "serve", "serve-bench", "cache",
+    "serve", "serve-bench", "serve-chaos", "cache",
 }
 
 DOCS_TABLE = REPO_ROOT / "docs" / "protocols.md"
