@@ -23,6 +23,7 @@ import platform
 import statistics
 import sys
 import time
+from dataclasses import replace
 from datetime import date
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
@@ -85,6 +86,7 @@ def run_workload(
     return {
         "graph": workload.graph_spec(quick),
         "algorithm": workload.algorithm,
+        "backend": workload.backend,
         "seed": workload.seed,
         "repeats": repeats,
         "wall_s": {
@@ -107,14 +109,21 @@ def run_suite(
     repeats: Optional[int] = None,
     names: Optional[Sequence[str]] = None,
     workloads: Optional[Sequence[Workload]] = None,
+    backend: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, object]:
     """Run a benchmark suite and return the full ``repro-bench/1`` report.
 
     ``names`` selects a subset of the pinned suite; ``workloads``
-    (tests only) substitutes explicit workload objects.
+    (tests only) substitutes explicit workload objects; ``backend``
+    forces every selected workload onto one execution engine (the
+    cross-backend divergence gate runs the object-backend suite under
+    ``backend="vector"`` and compares counters against the committed
+    object baseline).
     """
     chosen = tuple(workloads) if workloads is not None else select(names)
+    if backend is not None:
+        chosen = tuple(replace(w, backend=backend) for w in chosen)
     entries: Dict[str, object] = {}
     for workload in chosen:
         if progress is not None:

@@ -46,6 +46,9 @@ class Workload:
     epsilon: float = None
     #: Extra protocol params as sorted ``(key, value)`` pairs.
     params: Tuple[Tuple[str, Any], ...] = ()
+    #: Execution engine (``object`` or ``vector``); the registry
+    #: validates availability and capability at dispatch time.
+    backend: str = "object"
 
     def graph_spec(self, quick: bool) -> str:
         """The spec measured at the requested scale."""
@@ -61,6 +64,8 @@ class Workload:
             ]
         if self.epsilon is not None:
             params["epsilon"] = self.epsilon
+        if self.backend != "object":
+            params["backend"] = self.backend
         try:
             outcome = run_protocol(
                 self.algorithm, graph, params, seed=self.seed
@@ -114,14 +119,78 @@ WORKLOADS: Dict[str, Workload] = {
 }
 
 
+#: Large-n workloads that only the vector backend can run in sensible
+#: time.  Kept out of the default suite — ``select(None)`` must stay
+#: runnable in a numpy-free environment — and benchmarked explicitly
+#: via ``repro bench --workloads bench_apsp_n512,...`` against the
+#: committed ``benchmarks/results/baseline_vector.json``.
+LARGE_WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload(
+            name="bench_apsp_n512",
+            algorithm="apsp",
+            graph="er:512:p=0.02:seed=1",
+            quick_graph="er:128:p=0.06:seed=1",
+            backend="vector",
+        ),
+        Workload(
+            name="bench_apsp_n1024",
+            algorithm="apsp",
+            graph="er:1024:p=0.01:seed=1",
+            quick_graph="er:160:p=0.05:seed=1",
+            backend="vector",
+        ),
+        Workload(
+            name="bench_apsp_n2048",
+            algorithm="apsp",
+            graph="er:2048:p=0.005:seed=1",
+            quick_graph="er:192:p=0.05:seed=1",
+            backend="vector",
+        ),
+        Workload(
+            name="bench_ssp_n512",
+            algorithm="ssp",
+            graph="er:512:p=0.02:seed=2",
+            quick_graph="er:128:p=0.06:seed=2",
+            sources=(1, 65, 129, 257, 385),
+            backend="vector",
+        ),
+        Workload(
+            name="bench_ssp_n1024",
+            algorithm="ssp",
+            graph="er:1024:p=0.01:seed=2",
+            quick_graph="er:160:p=0.05:seed=2",
+            sources=(1, 129, 257, 513, 769),
+            backend="vector",
+        ),
+        Workload(
+            name="bench_ssp_n2048",
+            algorithm="ssp",
+            graph="er:2048:p=0.005:seed=2",
+            quick_graph="er:192:p=0.05:seed=2",
+            sources=(1, 257, 513, 1025, 1537),
+            backend="vector",
+        ),
+    )
+}
+
+#: Every addressable workload (default suite + large-n extras).
+ALL_WORKLOADS: Dict[str, Workload] = {**WORKLOADS, **LARGE_WORKLOADS}
+
+
 def select(names=None) -> Tuple[Workload, ...]:
-    """Resolve a workload subset (``None`` = the full suite, in order)."""
+    """Resolve a workload subset (``None`` = the default suite, in order).
+
+    The large-n vector workloads are opt-in by name only: the default
+    suite must keep running on a numpy-free install.
+    """
     if names is None:
         return tuple(WORKLOADS.values())
-    unknown = [name for name in names if name not in WORKLOADS]
+    unknown = [name for name in names if name not in ALL_WORKLOADS]
     if unknown:
         raise ValueError(
             f"unknown workload(s) {unknown}; expected a subset of "
-            f"{sorted(WORKLOADS)}"
+            f"{sorted(ALL_WORKLOADS)}"
         )
-    return tuple(WORKLOADS[name] for name in names)
+    return tuple(ALL_WORKLOADS[name] for name in names)

@@ -84,6 +84,7 @@ def _make_protocol_command(protocol: protocols.Protocol):
             target = protocols.get(spec.select(args))
         params = dict(spec.collect(args)) if spec.collect else {}
         params["seed"] = args.seed
+        params["backend"] = getattr(args, "backend", "object")
         try:
             outcome = target.execute(graph, params)
         except TaskError as exc:
@@ -221,8 +222,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             raise SystemExit(f"--faults: not valid JSON ({exc})")
         except harness.SpecError as exc:
             raise SystemExit(str(exc))
+    if args.backend:
+        try:
+            spec = spec.with_backend(args.backend)
+        except harness.SpecError as exc:
+            raise SystemExit(str(exc))
     if args.trace:
-        spec = spec.with_trace()
+        try:
+            spec = spec.with_trace()
+        except harness.SpecError as exc:
+            raise SystemExit(str(exc))
     out = args.out or f"{spec.name}.jsonl"
     try:
         summary = harness.run_campaign(
@@ -269,6 +278,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
             repeats=args.repeats,
             names=names,
+            backend=args.backend,
             progress=print,
         )
     except ValueError as exc:
@@ -289,6 +299,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"(generated {baseline.get('generated', '?')})")
     print(comparison.render())
     if not comparison.ok:
+        if args.strict_counters and comparison.divergent:
+            # Counter divergence means the engines computed different
+            # things — never ignorable, even under --warn-only.  This is
+            # the cross-backend byte-identity gate.
+            print("error: simulation counters diverged "
+                  "(fatal: --strict-counters)", file=sys.stderr)
+            return 1
         if args.warn_only:
             print("warning: regression gate failed (ignored: --warn-only)",
                   file=sys.stderr)
@@ -318,6 +335,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     """
     from . import obs
 
+    if getattr(args, "backend", "object") != "object":
+        raise SystemExit(
+            "trace capture requires --backend=object: the vector engine "
+            "computes whole rounds at once and records no per-event trace"
+        )
     graph = parse_graph(args.graph)
     faults = None
     if args.faults:
@@ -390,6 +412,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_matrix_bytes=int(args.max_matrix_mb * 1024 * 1024),
         seed=args.seed,
         policy=args.policy,
+        backend=args.backend,
         tick_s=args.tick_ms / 1000.0,
         max_batch=args.max_batch,
         stats_path=args.stats_out,
@@ -405,7 +428,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         read_timeout_s=None if args.read_timeout <= 0 else args.read_timeout,
         chaos=chaos,
     )
-    return serve.run_server(config)
+    try:
+        return serve.run_server(config)
+    except serve.QueryError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_serve_bench(args: argparse.Namespace) -> int:
@@ -570,6 +596,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     def common(p):
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--backend", choices=["object", "vector"],
+                       default="object",
+                       help="execution engine: 'object' (reference "
+                            "simulator) or 'vector' (numpy round engine; "
+                            "identical counters, needs the 'vector' "
+                            "install extra)")
 
     _add_protocol_parsers(sub, common)
 
@@ -642,6 +674,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="record a repro-trace/1 summary per task into "
                         "the result store (see docs/observability.md)")
+    p.add_argument("--backend", choices=["object", "vector"],
+                   default=None,
+                   help="execution engine for every task (overrides "
+                        "the spec's 'backend' field)")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
@@ -697,7 +733,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timed repeats per workload "
                         "(default 5 full / 3 quick)")
     p.add_argument("--workloads", default=None,
-                   help="comma-separated subset of the pinned suite")
+                   help="comma-separated subset of the pinned suite "
+                        "(large-n vector workloads are opt-in by name)")
+    p.add_argument("--backend", choices=["object", "vector"],
+                   default=None,
+                   help="force every selected workload onto this "
+                        "execution engine (default: each workload's "
+                        "pinned backend)")
     p.add_argument("--out", default=None,
                    help="report path (default BENCH_<date>.json)")
     p.add_argument("--compare", default=None, metavar="BASELINE.json",
@@ -706,6 +748,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="median-regression gate (default 0.15 = 15%%)")
     p.add_argument("--warn-only", action="store_true",
                    help="report regressions but exit 0")
+    p.add_argument("--strict-counters", action="store_true",
+                   help="keep counter divergence fatal even under "
+                        "--warn-only (the cross-backend identity gate)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -733,6 +778,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max sources per batched run (default 64)")
     p.add_argument("--policy", default="strict",
                    help="bandwidth policy for on-demand runs")
+    p.add_argument("--backend", choices=["object", "vector"],
+                   default="object",
+                   help="execution engine for on-demand runs "
+                        "(vector needs the 'vector' install extra)")
     p.add_argument("--stats-out", default=None, metavar="PATH",
                    help="write the final /stats snapshot here on "
                         "shutdown")

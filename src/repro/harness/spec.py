@@ -69,6 +69,46 @@ def _normalize_faults(value: Any) -> Optional[Dict[str, Any]]:
     return None if spec.is_noop else spec.to_dict()
 
 
+def _normalize_backend(
+    value: Any, *, faults: Any, trace: bool
+) -> str:
+    """Validate a spec-level backend choice against the environment.
+
+    Rejecting ``"vector"`` here — unknown name, numpy missing, or a
+    combination the vector engine cannot honor (faults, tracing) —
+    means a bad campaign dies with one actionable :class:`SpecError`
+    before any worker spawns, instead of n failing tasks.
+    """
+    from ..protocols.params import BACKENDS
+
+    backend = str(value)
+    if backend not in BACKENDS:
+        raise SpecError(
+            f"unknown backend {backend!r}; expected one of {list(BACKENDS)}"
+        )
+    if backend == "vector":
+        from ..vector import HAS_NUMPY, INSTALL_EXTRA
+
+        if not HAS_NUMPY:
+            raise SpecError(
+                f"backend 'vector' requires numpy; install the "
+                f"'{INSTALL_EXTRA}' extra "
+                f"(pip install \"repro[{INSTALL_EXTRA}]\") "
+                f"or drop the backend field"
+            )
+        if faults is not None:
+            raise SpecError(
+                "backend 'vector' does not support fault injection; "
+                "use the object backend for faulty campaigns"
+            )
+        if trace:
+            raise SpecError(
+                "backend 'vector' does not support trace capture; "
+                "use the object backend for traced campaigns"
+            )
+    return backend
+
+
 def _freeze(value: Any) -> Any:
     """Recursively convert a params value into a hashable constant."""
     if isinstance(value, Mapping):
@@ -159,10 +199,14 @@ class CampaignSpec:
     faults: Optional[Mapping[str, Any]] = None
     #: Record a repro-trace/1 summary per task (docs/observability.md).
     trace: bool = False
+    #: Which engine runs every task: "object" (default) or "vector".
+    #: Only ``"vector"`` is written into task params, so object-backend
+    #: cache keys are unchanged from before the field existed.
+    backend: str = "object"
 
     _FIELDS = (
         "name", "graphs", "sizes", "seeds", "algorithms", "policies",
-        "params", "salt", "faults", "trace",
+        "params", "salt", "faults", "trace", "backend",
     )
 
     @classmethod
@@ -203,6 +247,15 @@ class CampaignSpec:
             raise SpecError(
                 "give 'faults' either top-level or inside params, not both"
             )
+        backend = _normalize_backend(
+            data.get("backend", "object"),
+            faults=faults,
+            trace=bool(data.get("trace", False)),
+        )
+        if "backend" in params:
+            raise SpecError(
+                "'backend' is a top-level spec field, not a shared param"
+            )
         algorithms = list(data.get("algorithms", ("apsp",)))
         if not algorithms:
             raise SpecError("'algorithms' must not be empty")
@@ -227,6 +280,7 @@ class CampaignSpec:
             salt=str(data.get("salt", "")),
             faults=faults,
             trace=bool(data.get("trace", False)),
+            backend=backend,
         )
 
     def with_trace(self, trace: bool = True) -> "CampaignSpec":
@@ -237,6 +291,11 @@ class CampaignSpec:
         and their stored records gain a deterministic ``trace`` summary
         (the :meth:`repro.obs.session.Trace.summary_dict` digest).
         """
+        if trace and self.backend == "vector":
+            raise SpecError(
+                "backend 'vector' does not support trace capture; "
+                "use the object backend for traced campaigns"
+            )
         return replace(self, trace=bool(trace))
 
     def with_faults(self, faults: Any) -> "CampaignSpec":
@@ -247,6 +306,19 @@ class CampaignSpec:
         routes through here).
         """
         return replace(self, faults=_normalize_faults(faults))
+
+    def with_backend(self, backend: str) -> "CampaignSpec":
+        """A copy of this spec running every task on ``backend``.
+
+        Validated exactly as the ``"backend"`` spec field would be (the
+        CLI's ``--backend`` flag routes through here).
+        """
+        return replace(
+            self,
+            backend=_normalize_backend(
+                backend, faults=self.faults, trace=self.trace
+            ),
+        )
 
     def expand(self) -> List[Task]:
         """Expand the sweep into its ordered, deduplicated task list.
@@ -284,6 +356,8 @@ class CampaignSpec:
                                 task_params["faults"] = self.faults
                             if self.trace:
                                 task_params["trace"] = True
+                            if self.backend != "object":
+                                task_params["backend"] = self.backend
                             task = Task.make(graph, algorithm, task_params)
                             if task not in seen:
                                 try:

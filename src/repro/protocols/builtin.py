@@ -17,6 +17,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from .. import core
+from .. import vector
 from ..congest.metrics import RunMetrics
 from ..graphs import (
     deterministic_weights,
@@ -61,6 +62,13 @@ def _apsp_run(req: RunRequest):
     )
 
 
+def _apsp_vector_run(req: RunRequest):
+    return vector.run_apsp(
+        req.graph, collect_girth=req.params["collect_girth"],
+        **req.common.kwargs(),
+    )
+
+
 def _apsp_present(args, graph, outcome: RunOutcome) -> None:
     summary = outcome.summary
     print(f"APSP on {graph!r}")
@@ -83,7 +91,9 @@ register(Protocol(
         ParamSpec("collect_girth", kind="bool", default=False,
                   help="also collect the Lemma 7 girth witnesses"),
     ),
-    capabilities=frozenset({"faults", "trace", "girth"}),
+    capabilities=frozenset({"faults", "trace", "girth", "vector"}),
+    vector_run=_apsp_vector_run,
+    vector_entry_point="vector.run_apsp",
     help="Algorithm 1: APSP in O(n)",
     cli=CliSpec(
         help="Algorithm 1: APSP in O(n)",
@@ -106,11 +116,23 @@ def _ssp_check(params: Dict[str, Any]) -> None:
         raise ParamError("ssp needs 'sources' or 'num_sources'")
 
 
-def _ssp_run(req: RunRequest):
+def _ssp_sources(req: RunRequest):
     sources = req.params.get("sources")
     if sources is None:
         sources = sorted(req.graph.nodes)[: req.params["num_sources"]]
-    return core.run_ssp(req.graph, sources, **req.common.kwargs())
+    return sources
+
+
+def _ssp_run(req: RunRequest):
+    return core.run_ssp(
+        req.graph, _ssp_sources(req), **req.common.kwargs()
+    )
+
+
+def _ssp_vector_run(req: RunRequest):
+    return vector.run_ssp(
+        req.graph, _ssp_sources(req), **req.common.kwargs()
+    )
 
 
 def _ssp_summarize(summary, req: RunRequest) -> Dict[str, Any]:
@@ -146,7 +168,9 @@ register(Protocol(
                   help="use the num_sources smallest node ids"),
     ),
     check=_ssp_check,
-    capabilities=frozenset({"faults", "trace"}),
+    capabilities=frozenset({"faults", "trace", "vector"}),
+    vector_run=_ssp_vector_run,
+    vector_entry_point="vector.run_ssp",
     help="Algorithm 2: S-SP in O(|S|+D)",
     cli=CliSpec(
         help="Algorithm 2: S-SP in O(|S|+D)",
@@ -171,6 +195,14 @@ register(Protocol(
 
 def _properties_run(req: RunRequest):
     return core.run_graph_properties(
+        req.graph, include_girth=req.params["include_girth"],
+        track_edges=req.params["track_edges"],
+        **req.common.kwargs(),
+    )
+
+
+def _properties_vector_run(req: RunRequest):
+    return vector.run_graph_properties(
         req.graph, include_girth=req.params["include_girth"],
         track_edges=req.params["track_edges"],
         **req.common.kwargs(),
@@ -211,7 +243,9 @@ register(Protocol(
         ParamSpec("track_edges", kind="bool", default=False,
                   help="record per-edge bit counters (cut analyses)"),
     ),
-    capabilities=frozenset({"faults", "trace", "girth"}),
+    capabilities=frozenset({"faults", "trace", "girth", "vector"}),
+    vector_run=_properties_vector_run,
+    vector_entry_point="vector.run_graph_properties",
     help="Lemmas 2-7: all exact properties",
     cli=CliSpec(
         help="Lemmas 2-7: all exact properties",
@@ -285,7 +319,11 @@ register(Protocol(
         req.graph, **req.common.kwargs()
     ),
     summarize=lambda s, req: {"girth": s.girth},
-    capabilities=frozenset({"faults", "trace", "girth"}),
+    capabilities=frozenset({"faults", "trace", "girth", "vector"}),
+    vector_run=lambda req: vector.run_exact_girth(
+        req.graph, **req.common.kwargs()
+    ),
+    vector_entry_point="vector.run_exact_girth",
     smoke_graph="cycle:9",
     help="Lemma 7 / Theorem 5",
     cli=CliSpec(
@@ -496,7 +534,11 @@ register(Protocol(
         "max_depth": max(r.depth for r in s[0].values()),
     },
     metrics_of=lambda s: s[1],
-    capabilities=frozenset({"faults", "trace"}),
+    capabilities=frozenset({"faults", "trace", "vector"}),
+    vector_run=lambda req: vector.run_bfs(
+        req.graph, **req.common.kwargs()
+    ),
+    vector_entry_point="vector.run_bfs",
     help="one BFS + echo from node 1 in O(D)",
 ))
 

@@ -25,6 +25,12 @@ from .errors import ParamError
 #: Parameter kinds understood by :meth:`ParamSpec.coerce`.
 KINDS = ("int", "float", "str", "bool", "int_list")
 
+#: The execution backends a protocol run can request.  ``object`` is
+#: the per-node generator engine (the reference); ``vector`` the numpy
+#: round engine (:mod:`repro.vector`), available only on protocols
+#: carrying the ``vector`` capability.
+BACKENDS = ("object", "vector")
+
 
 @dataclass(frozen=True)
 class ParamSpec:
@@ -134,6 +140,10 @@ class CommonParams:
     policy: str = "strict"
     bandwidth_bits: Optional[int] = None
     faults: Any = None
+    #: Which engine executes the run.  Deliberately excluded from
+    #: :meth:`kwargs` — the object entry points don't know about it;
+    #: :meth:`~.registry.Protocol.execute` dispatches on it instead.
+    backend: str = "object"
 
     def kwargs(self) -> Dict[str, Any]:
         """The axes as keyword arguments for a ``core.run_*`` call."""
@@ -171,8 +181,15 @@ def split_common(
                 f"integer or null"
             )
     faults = rest.pop("faults", None)
+    backend = rest.pop("backend", "object")
+    if backend not in BACKENDS:
+        raise ParamError(
+            f"{protocol}: param 'backend' must be one of "
+            f"{list(BACKENDS)}, got {backend!r}"
+        )
     return CommonParams(
-        seed=seed, policy=policy, bandwidth_bits=bandwidth, faults=faults
+        seed=seed, policy=policy, bandwidth_bits=bandwidth, faults=faults,
+        backend=backend,
     ), rest
 
 

@@ -32,15 +32,23 @@ from typing import (
 
 from ..congest.metrics import RunMetrics
 from ..graphs.graph import Graph
-from .errors import TaskError
+from .errors import ParamError, TaskError
 from .params import CommonParams, ParamSpec, split_common, validate_params
 
 #: The capability vocabulary.  ``faults``: accepts fault injection;
 #: ``trace``: drivable from ``repro trace run`` (all network-running
 #: protocols also work under ``repro campaign --trace``); ``girth``:
 #: computes girth information; ``weighted``: consumes weighted input
-#: via the subdivision reduction.
-CAPABILITIES = frozenset({"faults", "trace", "girth", "weighted"})
+#: via the subdivision reduction; ``vector``: runnable on the numpy
+#: round engine (:mod:`repro.vector`) via ``backend="vector"``.
+CAPABILITIES = frozenset({"faults", "trace", "girth", "weighted", "vector"})
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy dependency imports."""
+    from ..vector import HAS_NUMPY
+
+    return HAS_NUMPY
 
 
 @dataclass(frozen=True)
@@ -136,6 +144,12 @@ class Protocol:
     smoke_graph: str = "path:6"
     help: str = ""
     cli: Optional[CliSpec] = None
+    #: Execute the validated request on the numpy round engine.  Set
+    #: exactly when the ``vector`` capability is declared.
+    vector_run: Optional[Callable[[RunRequest], Any]] = None
+    #: Dotted location of the vector twin, e.g. ``"vector.run_apsp"``
+    #: — the hook static drift checks key on.
+    vector_entry_point: Optional[str] = None
 
     def __post_init__(self) -> None:
         extra = self.capabilities - CAPABILITIES
@@ -145,12 +159,63 @@ class Protocol:
                 f"{sorted(extra)}; expected a subset of "
                 f"{sorted(CAPABILITIES)}"
             )
+        has_vector = "vector" in self.capabilities
+        if has_vector != (
+            self.vector_run is not None
+            and self.vector_entry_point is not None
+        ):
+            raise ValueError(
+                f"protocol {self.name!r}: the 'vector' capability and "
+                f"the vector_run/vector_entry_point hooks must be "
+                f"declared together"
+            )
+
+    def available_backends(self) -> Tuple[str, ...]:
+        """The backends this protocol can actually run on right now.
+
+        ``vector`` is reported only when the protocol declares the
+        capability *and* numpy imports — this is what the CLI and the
+        capability listings surface.
+        """
+        if "vector" in self.capabilities and numpy_available():
+            return ("object", "vector")
+        return ("object",)
+
+    def _check_backend(self, common: CommonParams) -> None:
+        if common.backend != "vector":
+            return
+        if "vector" not in self.capabilities:
+            vector_capable = sorted(
+                p.name for p in _REGISTRY.values()
+                if "vector" in p.capabilities
+            )
+            raise ParamError(
+                f"{self.name}: backend 'vector' is not supported by "
+                f"this protocol; vector-capable protocols: "
+                f"{vector_capable}"
+            )
+        if not numpy_available():
+            from ..vector import NUMPY_HINT
+
+            raise ParamError(f"{self.name}: {NUMPY_HINT}")
+        if common.faults is not None:
+            raise ParamError(
+                f"{self.name}: backend 'vector' does not support fault "
+                f"injection; use backend 'object' for faulty networks"
+            )
+        if common.policy != "strict":
+            raise ParamError(
+                f"{self.name}: backend 'vector' supports only the "
+                f"'strict' bandwidth policy, got {common.policy!r}; "
+                f"use backend 'object'"
+            )
 
     def request(
         self, graph: Graph, params: Optional[Mapping[str, Any]] = None
     ) -> RunRequest:
         """Validate raw params into a :class:`RunRequest`."""
         common, rest = split_common(self.name, params or {})
+        self._check_backend(common)
         coerced = validate_params(self.name, self.schema, rest)
         if self.check is not None:
             self.check(coerced)
@@ -168,6 +233,7 @@ class Protocol:
         rest = dict(params)
         rest.pop("trace", None)
         common, rest = split_common(self.name, rest)
+        self._check_backend(common)
         coerced = validate_params(self.name, self.schema, rest)
         if self.check is not None:
             self.check(coerced)
@@ -184,7 +250,10 @@ class Protocol:
         called for clean runs.
         """
         request = self.request(graph, params)
-        summary = self.run(request)
+        if request.common.backend == "vector":
+            summary = self.vector_run(request)
+        else:
+            summary = self.run(request)
         metrics = self.metrics_of(summary)
         if metrics.nodes_crashed or metrics.nodes_stalled:
             result: Dict[str, Any] = {

@@ -43,6 +43,11 @@ class QueryFamily:
     params: Tuple[Tuple[str, Any], ...] = ()
     seed: int = 0
     policy: str = "strict"
+    #: Execution engine of the family's runs.  Part of the cache
+    #: identity — object and vector results never share records — but
+    #: serialized only when non-default, so records written before the
+    #: field existed still address the same object-backend entries.
+    backend: str = "object"
 
     @classmethod
     def make(
@@ -53,6 +58,7 @@ class QueryFamily:
         *,
         seed: int = 0,
         policy: str = "strict",
+        backend: str = "object",
     ) -> "QueryFamily":
         """Build a family, normalizing params into sorted tuple form."""
         return cls(
@@ -61,17 +67,21 @@ class QueryFamily:
             params=tuple(sorted((params or {}).items())),
             seed=seed,
             policy=policy,
+            backend=backend,
         )
 
     def payload(self) -> Dict[str, Any]:
         """Deterministic dict identity (content-address input)."""
-        return {
+        payload = {
             "graph": self.graph_spec,
             "protocol": self.protocol,
             "params": dict(self.params),
             "seed": self.seed,
             "policy": self.policy,
         }
+        if self.backend != "object":
+            payload["backend"] = self.backend
+        return payload
 
     def row_key(self, source: int) -> str:
         """Content address of one persisted source row."""

@@ -724,6 +724,8 @@ class ServerConfig:
     max_matrix_bytes: int = 64 * 1024 * 1024
     seed: int = 0
     policy: str = "strict"
+    #: Execution engine for on-demand runs (``object`` or ``vector``).
+    backend: str = "object"
     tick_s: float = DEFAULT_TICK_S
     max_batch: int = DEFAULT_MAX_BATCH
     stats_path: Optional[str] = None
@@ -769,6 +771,7 @@ async def _serve_main(config: ServerConfig) -> int:
         max_matrix_bytes=config.max_matrix_bytes,
         seed=config.seed,
         policy=config.policy,
+        backend=config.backend,
     )
     for spec in config.graphs:
         service.load_graph(spec)

@@ -109,11 +109,23 @@ class DistanceService:
         max_matrix_bytes: int = DEFAULT_MAX_BYTES,
         seed: int = 0,
         policy: str = "strict",
+        backend: str = "object",
     ) -> None:
         if run_cache is None and cache_dir is not None:
             run_cache = RunCache(cache_dir)
+        if backend == "vector":
+            from ..vector import HAS_NUMPY, NUMPY_HINT
+
+            if not HAS_NUMPY:
+                raise QueryError(NUMPY_HINT)
+        elif backend != "object":
+            raise QueryError(
+                f"unknown backend {backend!r}; "
+                f"expected 'object' or 'vector'"
+            )
         self.seed = seed
         self.policy = policy
+        self.backend = backend
         self.stats = ServeStats()
         self.cache = MatrixCache(
             max_bytes=max_matrix_bytes, run_cache=run_cache
@@ -157,28 +169,38 @@ class DistanceService:
         *,
         seed: Optional[int] = None,
         policy: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> QueryFamily:
         """Validate query axes into a :class:`QueryFamily`."""
-        backend = BACKENDS.get(protocol)
-        if backend is None:
+        serve_backend = BACKENDS.get(protocol)
+        if serve_backend is None:
             raise QueryError(
                 f"unknown serve protocol {protocol!r}; available: "
                 f"{sorted(BACKENDS)}"
             )
         params = dict(params or {})
-        unknown = set(params) - backend.param_names
+        unknown = set(params) - serve_backend.param_names
         if unknown:
             raise QueryError(
                 f"protocol {protocol!r} does not take parameters "
                 f"{sorted(unknown)} (allowed: "
-                f"{sorted(backend.param_names) or 'none'})"
+                f"{sorted(serve_backend.param_names) or 'none'})"
             )
+        engine = self.backend if backend is None else backend
+        if engine == "vector":
+            capable = protocols.get(serve_backend.full_protocol)
+            if "vector" not in capable.capabilities:
+                raise QueryError(
+                    f"protocol {protocol!r} cannot run on the vector "
+                    f"backend; use backend 'object'"
+                )
         return QueryFamily.make(
             graph_spec,
             protocol,
             params,
             seed=self.seed if seed is None else seed,
             policy=self.policy if policy is None else policy,
+            backend=engine,
         )
 
     def _check_node(self, graph: Graph, node: int, what: str) -> None:
@@ -224,6 +246,7 @@ class DistanceService:
         outcome = protocols.run(
             protocol, graph, params,
             seed=family.seed, policy=family.policy,
+            backend=family.backend,
         )
         if tracer is not None:
             tracer.span_end(

@@ -126,12 +126,13 @@ def _execute_job(
         _apply_inject(inject, graph)
     kind = job["kind"]
     seed, policy = family["seed"], family["policy"]
+    engine = family.get("backend", "object")
     if kind == "rows":
         backend = BACKENDS[family["protocol"]]
         sources = list(job["sources"])
         outcome = protocols.run(
             backend.row_protocol, graph, {"sources": sources},
-            seed=seed, policy=policy,
+            seed=seed, policy=policy, backend=engine,
         )
         return {
             "rows": rows_from_ssp_summary(outcome.summary, sources),
@@ -141,7 +142,7 @@ def _execute_job(
         backend = BACKENDS[family["protocol"]]
         outcome = protocols.run(
             backend.full_protocol, graph, dict(family["params"]),
-            seed=seed, policy=policy,
+            seed=seed, policy=policy, backend=engine,
         )
         return {
             "rows": backend.rows_of(outcome.summary),

@@ -1,0 +1,917 @@
+"""Closed-form numpy execution of the fault-free core protocols.
+
+The object engine steps one Python generator per node per round.  On
+the fault-free strict path, however, every message the paper's
+algorithms send is a *closed-form function* of the BFS distance matrix
+``D`` and the ``T_1`` pebble traversal:
+
+* **Tree construction** (``build_bfs_tree``): a node at depth ``d``
+  adopts in round ``d``, floods :class:`BfsToken` to every neighbor not
+  at depth ``d - 1`` (delivered ``d + 1``), joins its parent (delivered
+  ``d + 1``), echoes at ``d + 3 + 2·h(v)`` (``h`` = subtree height) and
+  receives the root's :class:`SyncMsg` at ``r_e + d`` where
+  ``r_e = 2 + 2·ecc(root)``.  All nodes exit at
+  ``start_round = 3·ecc(root) + 4``.
+* **Algorithm 1** (``apsp_phase``): the pebble's Euler tour of ``T_1``
+  fixes each wave's start round ``w(v)``; wave ``v``'s token crosses
+  directed edge ``(x, y)`` in round ``w(v) + D[v,x] + 1`` iff
+  ``D[v,y] ≥ D[v,x]``.  The finish broadcast leaves the root the round
+  the pebble exhausts and reaches depth ``d`` nodes ``d`` rounds later.
+* **Lemmas 2–7 epilogue**: ``k`` aligned convergecast+broadcast phases
+  of exactly ``2·(ecc(root) + 2)`` rounds each, one :class:`UpMsg` /
+  :class:`DownMsg` per tree edge per phase.
+* **Algorithm 2** (``ssp_main_loop``): no closed form — the offer /
+  accept loop is simulated round-exactly, but with the per-edge pending
+  sets held as one boolean matrix and each round's offers selected by a
+  single vectorized argmin.
+
+Whole runs therefore collapse into a few ``bincount`` passes over
+delivery-round arrays, with the distance matrix computed by blocked
+boolean matrix products.  Counter fidelity notes:
+
+* Per directed edge and round these schedules deliver at most one
+  message, **except** in the APSP phase where a wave token may share an
+  edge-round with the pebble or with the finish broadcast; those
+  coincidences are detected explicitly, so ``max_edge_*_in_round`` is
+  exact.  Distinct wave tokens never collide (the paper's Lemma 1); a
+  tripwire re-verifies this exhaustively on small inputs.
+* Bandwidth overflow is still detected (against the same budget), but
+  the error may name a different witnessing edge/round than the object
+  engine, which stops at the first offending round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+import numpy as np
+
+from ..congest.errors import BandwidthExceededError, GraphError
+from ..congest.message import Message, SizeModel
+from ..congest.metrics import RunMetrics
+from ..congest.network import default_bandwidth
+from ..core.bfs import BfsResult
+from ..core.engine import ROOT, validate_apsp_input
+from ..core.girth import GirthEstimate, GirthSummary
+from ..core.messages import (
+    BfsToken,
+    DownMsg,
+    EchoMsg,
+    JoinMsg,
+    OfferMsg,
+    PebbleMsg,
+    SyncMsg,
+    UpMsg,
+)
+from ..core.properties import GIRTH_INFINITE
+from ..core.results import (
+    ApspResult,
+    ApspSummary,
+    PropertyResult,
+    PropertySummary,
+    SspResult,
+    SspSummary,
+)
+from ..core.ssp import PRIORITY_DIST_ID
+from ..graphs.graph import Graph
+from . import VectorBackendError
+
+#: Upper bound on (rows × directed edges) entries held live per chunk of
+#: the wave sweep — keeps peak memory near 100 MB at n = 2048.
+_CHUNK_ENTRIES = 1 << 23
+
+#: Below this (n × directed edges) volume the Lemma 1 tripwire runs: an
+#: exhaustive uniqueness check that no two wave tokens share an
+#: edge-round.  Covers every test-sized graph at negligible cost while
+#: staying off the bench path (n ≥ 512).
+_LEMMA1_CHECK_LIMIT = 1 << 18
+
+_NO_CANDIDATE = np.iinfo(np.int64).max
+
+
+def _check_supported(*, policy: str, faults, track_edges: bool = False,
+                     priority: Optional[str] = None) -> None:
+    """Reject the object-engine-only features up front, loudly."""
+    del track_edges  # supported; listed for signature symmetry
+    if faults is not None:
+        raise VectorBackendError(
+            "the vector backend does not support fault injection; "
+            "run with --backend=object for faulty networks"
+        )
+    if policy != "strict":
+        raise VectorBackendError(
+            f"the vector backend supports only the 'strict' bandwidth "
+            f"policy, not {policy!r}; run with --backend=object"
+        )
+    if priority is not None and priority != PRIORITY_DIST_ID:
+        raise VectorBackendError(
+            f"the vector backend supports only the corrected "
+            f"{PRIORITY_DIST_ID!r} S-SP priority rule, not {priority!r}; "
+            f"run with --backend=object"
+        )
+
+
+class _Csr:
+    """Immutable CSR adjacency plus directed-edge arrays.
+
+    Node *indices* are positions in the ascending id tuple, so index
+    order and id order agree — every min-id tie-break below is a plain
+    index minimum.
+    """
+
+    __slots__ = (
+        "n", "ids", "indptr", "indices", "src", "dst", "edge_key",
+        "in_order", "in_indptr", "root_idx",
+    )
+
+    def __init__(self, graph: Graph) -> None:
+        nodes = graph.nodes
+        n = len(nodes)
+        self.n = n
+        self.ids = np.asarray(nodes, dtype=np.int64)
+        index = {uid: i for i, uid in enumerate(nodes)}
+        neighbor_lists = [graph.neighbors(uid) for uid in nodes]
+        counts = np.fromiter(
+            (len(x) for x in neighbor_lists), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        m2 = int(indptr[-1])
+        self.indptr = indptr
+        self.indices = np.fromiter(
+            (index[w] for nbrs in neighbor_lists for w in nbrs),
+            dtype=np.int64, count=m2,
+        )
+        self.src = np.repeat(np.arange(n, dtype=np.int64), counts)
+        self.dst = self.indices
+        # Neighbor lists are ascending, so (src, dst) pairs are already
+        # lexicographically sorted — the key array is monotonic and
+        # edge_of() is a binary search.
+        self.edge_key = self.src * n + self.dst
+        self.in_order = np.argsort(self.dst, kind="stable")
+        in_counts = np.bincount(self.dst, minlength=n)
+        in_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(in_counts, out=in_indptr[1:])
+        self.in_indptr = in_indptr
+        self.root_idx = index[ROOT]
+
+    @property
+    def m2(self) -> int:
+        """Number of directed edges (2·|E|)."""
+        return int(self.indptr[-1])
+
+    def edge_of(self, src_idx, dst_idx):
+        """Directed-edge indices for (src, dst) index arrays."""
+        return np.searchsorted(
+            self.edge_key,
+            np.asarray(src_idx, dtype=np.int64) * self.n + dst_idx,
+        )
+
+
+def _sssp_depths(csr: _Csr, source_idx: int) -> np.ndarray:
+    """Hop distances from one source over the CSR structure."""
+    depth = np.full(csr.n, -1, dtype=np.int64)
+    depth[source_idx] = 0
+    frontier = np.array([source_idx], dtype=np.int64)
+    level = 0
+    indptr, indices = csr.indptr, csr.indices
+    while frontier.size:
+        level += 1
+        reach = np.concatenate(
+            [indices[indptr[u]:indptr[u + 1]] for u in frontier]
+        )
+        reach = reach[depth[reach] < 0]
+        if reach.size == 0:
+            break
+        frontier = np.unique(reach)
+        depth[frontier] = level
+    return depth
+
+
+def _all_pairs_distances(csr: _Csr) -> np.ndarray:
+    """The full hop-distance matrix via blocked boolean matmul BFS."""
+    n = csr.n
+    if n == 1:
+        return np.zeros((1, 1), dtype=np.int32)
+    adjacency = np.zeros((n, n), dtype=np.float32)
+    adjacency[csr.src, csr.dst] = 1.0
+    distances = np.zeros((n, n), dtype=np.int32)
+    block = max(1, min(n, _CHUNK_ENTRIES // n))
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        rows = stop - start
+        reached = np.zeros((rows, n), dtype=bool)
+        reached[np.arange(rows), np.arange(start, stop)] = True
+        frontier = reached.astype(np.float32)
+        level = 0
+        sub = distances[start:stop]
+        while True:
+            nxt = (frontier @ adjacency) > 0.0
+            nxt &= ~reached
+            if not nxt.any():
+                break
+            level += 1
+            sub[nxt] = level
+            reached |= nxt
+            frontier = nxt.astype(np.float32)
+    return distances
+
+
+class _Tree:
+    """The ``T_1`` arrays every schedule below is phrased over."""
+
+    __slots__ = (
+        "depth", "parent", "children", "height", "ecc", "r_echo",
+        "start_round", "root_idx", "nonroot", "up_edges", "down_edges",
+    )
+
+    def __init__(self, csr: _Csr, depth: np.ndarray) -> None:
+        n = csr.n
+        self.root_idx = csr.root_idx
+        self.depth = depth
+        parent = np.full(n, -1, dtype=np.int64)
+        if n > 1:
+            src_in = csr.src[csr.in_order]
+            dst_in = csr.dst[csr.in_order]
+            candidate = np.where(
+                depth[src_in] == depth[dst_in] - 1, src_in, n
+            )
+            parent = np.minimum.reduceat(candidate, csr.in_indptr[:-1])
+            parent[self.root_idx] = -1
+        self.parent = parent
+        children: List[List[int]] = [[] for _ in range(n)]
+        parent_list = parent.tolist()
+        for v, p in enumerate(parent_list):
+            if p >= 0:
+                children[p].append(v)
+        self.children = children
+        height = np.zeros(n, dtype=np.int64)
+        for v in np.argsort(depth)[::-1].tolist():
+            p = parent_list[v]
+            if p >= 0 and height[p] < height[v] + 1:
+                height[p] = height[v] + 1
+        self.height = height
+        self.ecc = int(depth.max())
+        self.r_echo = 2 + 2 * self.ecc
+        self.start_round = 3 * self.ecc + 4
+        self.nonroot = np.nonzero(parent >= 0)[0]
+        self.up_edges = (
+            csr.edge_of(self.nonroot, parent[self.nonroot])
+            if n > 1 else np.zeros(0, dtype=np.int64)
+        )
+        self.down_edges = (
+            csr.edge_of(parent[self.nonroot], self.nonroot)
+            if n > 1 else np.zeros(0, dtype=np.int64)
+        )
+
+    @property
+    def diameter_bound(self) -> int:
+        return max(1, 2 * self.ecc)
+
+
+class _Schedule:
+    """Accumulates message deliveries into RunMetrics-shaped counters."""
+
+    def __init__(self, total_rounds: int, csr: _Csr,
+                 size_model: SizeModel, track_edges: bool) -> None:
+        self.total_rounds = total_rounds
+        self.csr = csr
+        self.size_model = size_model
+        self.msgs = np.zeros(total_rounds + 2, dtype=np.int64)
+        self.bits = np.zeros(total_rounds + 2, dtype=np.int64)
+        self.edge_bits: Optional[np.ndarray] = (
+            np.zeros(csr.m2, dtype=np.int64) if track_edges else None
+        )
+        #: class -> one witnessing (edge_idx, round) delivery.
+        self.classes: Dict[Type[Message], Tuple[int, int]] = {}
+        #: coincidences: (combined_bits, edge_idx, round).
+        self.pairs: List[Tuple[int, int, int]] = []
+
+    def size(self, cls: Type[Message]) -> int:
+        return self.size_model.class_size_bits(cls)
+
+    def _admit_counts(self, cls: Type[Message], counts: np.ndarray,
+                      witness: Tuple[int, int]) -> None:
+        size = self.size(cls)
+        self.msgs += counts
+        self.bits += counts * size
+        self.classes.setdefault(cls, witness)
+
+    def deliver(self, cls: Type[Message], rounds, edges) -> None:
+        """Record one delivery per (round, edge) entry pair."""
+        rounds = np.asarray(rounds, dtype=np.int64)
+        if rounds.size == 0:
+            return
+        peak = int(rounds.max())
+        if peak > self.total_rounds:
+            raise AssertionError(
+                f"{cls.__name__} delivery in round {peak} past the "
+                f"computed run length {self.total_rounds}"
+            )
+        counts = np.bincount(rounds, minlength=self.total_rounds + 2)
+        self._admit_counts(cls, counts, (int(edges[0]), int(rounds[0])))
+        if self.edge_bits is not None:
+            np.add.at(self.edge_bits, edges, self.size(cls))
+
+    def deliver_bincounts(self, cls: Type[Message], counts: np.ndarray,
+                          edge_counts: Optional[np.ndarray],
+                          witness: Tuple[int, int]) -> None:
+        """Record pre-aggregated per-round (and per-edge) counts."""
+        if counts.shape != self.msgs.shape:
+            raise AssertionError("per-round count array shape mismatch")
+        if not counts.any():
+            return
+        self._admit_counts(cls, counts, witness)
+        if self.edge_bits is not None and edge_counts is not None:
+            self.edge_bits += edge_counts * self.size(cls)
+
+    def coincide(self, other_cls: Type[Message], edge_idx: int,
+                 round_no: int) -> None:
+        """Record a wave-token + ``other_cls`` shared edge-round."""
+        self.pairs.append(
+            (self.size(BfsToken) + self.size(other_cls),
+             edge_idx, round_no)
+        )
+
+    def finalize(self, bandwidth_bits: Optional[int]) -> RunMetrics:
+        budget = (
+            default_bandwidth(self.csr.n)
+            if bandwidth_bits is None else bandwidth_bits
+        )
+        max_bits = 0
+        witness: Optional[Tuple[int, int]] = None
+        for cls, (edge_idx, round_no) in self.classes.items():
+            size = self.size(cls)
+            if size > max_bits:
+                max_bits, witness = size, (edge_idx, round_no)
+        for bits, edge_idx, round_no in self.pairs:
+            if bits > max_bits:
+                max_bits, witness = bits, (edge_idx, round_no)
+        if max_bits > budget:
+            edge_idx, round_no = witness
+            raise BandwidthExceededError(
+                int(self.csr.ids[self.csr.src[edge_idx]]),
+                int(self.csr.ids[self.csr.dst[edge_idx]]),
+                round_no, max_bits, budget,
+            )
+        if not self.classes:
+            max_messages = 0
+        elif self.pairs:
+            max_messages = 2
+        else:
+            max_messages = 1
+        metrics = RunMetrics(
+            edge_bits=None if self.edge_bits is None else {},
+        )
+        upto = self.total_rounds + 1
+        metrics.rounds = self.total_rounds
+        metrics.messages_total = int(self.msgs[1:upto].sum())
+        metrics.bits_total = int(self.bits[1:upto].sum())
+        metrics.max_edge_bits_in_round = max_bits
+        metrics.max_edge_messages_in_round = max_messages
+        metrics.messages_per_round = self.msgs[1:upto].tolist()
+        metrics.bits_per_round = self.bits[1:upto].tolist()
+        if self.edge_bits is not None:
+            ids, src, dst = self.csr.ids, self.csr.src, self.csr.dst
+            live = np.nonzero(self.edge_bits)[0]
+            metrics.edge_bits = {
+                (int(ids[src[e]]), int(ids[dst[e]])): int(self.edge_bits[e])
+                for e in live.tolist()
+            }
+        return metrics
+
+
+# ---------------------------------------------------------------------------
+# Phase schedules.
+# ---------------------------------------------------------------------------
+
+
+def _emit_tree_phase(sched: _Schedule, csr: _Csr, tree: _Tree) -> None:
+    """``build_bfs_tree``: wave + join + echo + sync deliveries."""
+    if csr.n == 1:
+        return
+    depth = tree.depth
+    flood = np.nonzero(depth[csr.dst] != depth[csr.src] - 1)[0]
+    sched.deliver(BfsToken, depth[csr.src[flood]] + 1, flood)
+    nonroot = tree.nonroot
+    sched.deliver(JoinMsg, depth[nonroot] + 1, tree.up_edges)
+    sched.deliver(
+        EchoMsg, depth[nonroot] + 3 + 2 * tree.height[nonroot],
+        tree.up_edges,
+    )
+    sched.deliver(SyncMsg, tree.r_echo + depth[nonroot], tree.down_edges)
+
+
+def _pebble_schedule(tree: _Tree, t0: int):
+    """Euler tour of ``T_1``: wave start rounds, pebble moves, last round.
+
+    Mirrors ``apsp_phase`` exactly: the holder stages the first wave and
+    the first move in round ``t0 + 1``; a first visit arriving in round
+    ``a`` stages its wave and onward move in ``a + 1``; a revisit moves
+    on in its arrival round; the root announces the finish the round its
+    traversal exhausts.
+    """
+    n = len(tree.depth)
+    wave_round = np.zeros(n, dtype=np.int64)
+    wave_round[tree.root_idx] = t0 + 1
+    next_child = [0] * n
+    parent = tree.parent.tolist()
+    children = tree.children
+    moves_src: List[int] = []
+    moves_dst: List[int] = []
+    moves_stage: List[int] = []
+    current = tree.root_idx
+    stage = t0 + 1
+    while True:
+        kids = children[current]
+        cursor = next_child[current]
+        if cursor < len(kids):
+            target = kids[cursor]
+            next_child[current] = cursor + 1
+            moves_src.append(current)
+            moves_dst.append(target)
+            moves_stage.append(stage)
+            arrival = stage + 1          # always a first visit
+            wave_round[target] = arrival + 1
+            stage = arrival + 1
+            current = target
+        elif parent[current] >= 0:
+            target = parent[current]
+            moves_src.append(current)
+            moves_dst.append(target)
+            moves_stage.append(stage)
+            stage = stage + 1            # revisit: moves on at arrival
+            current = target
+        else:
+            return (
+                wave_round,
+                np.asarray(moves_src, dtype=np.int64),
+                np.asarray(moves_dst, dtype=np.int64),
+                np.asarray(moves_stage, dtype=np.int64),
+                stage,                    # the root's exhaustion round
+            )
+
+
+def _token_present(distances: np.ndarray, wave_round: np.ndarray,
+                   src_idx: int, dst_idx: int, round_no: int) -> bool:
+    """Whether any wave token crosses ``(src, dst)`` in ``round_no``."""
+    d_src = distances[:, src_idx].astype(np.int64)
+    return bool(np.any(
+        (wave_round + d_src + 1 == round_no)
+        & (distances[:, dst_idx] >= distances[:, src_idx])
+    ))
+
+
+def _emit_apsp_phase(
+    sched: _Schedule, csr: _Csr, tree: _Tree, distances: np.ndarray,
+    t0: int, collect_girth: bool,
+):
+    """Algorithm 1's pebble + n waves + finish broadcast.
+
+    Returns ``(finish_round, girth_best)`` where ``girth_best`` is a
+    per-node int64 array (``_NO_CANDIDATE`` = none) or ``None``.
+    """
+    n = csr.n
+    (wave_round, moves_src, moves_dst, moves_stage,
+     exhausted) = _pebble_schedule(tree, t0)
+    finish_round = exhausted + tree.diameter_bound + 2
+    girth_best = (
+        np.full(n, _NO_CANDIDATE, dtype=np.int64) if collect_girth else None
+    )
+    if n == 1:
+        return finish_round, girth_best
+
+    # Pebble moves: 2(n-1) singletons, delivered the round after staging.
+    move_edges = csr.edge_of(moves_src, moves_dst)
+    sched.deliver(PebbleMsg, moves_stage + 1, move_edges)
+
+    # Finish broadcast down the tree.
+    sched.deliver(
+        DownMsg, exhausted + tree.depth[tree.nonroot], tree.down_edges
+    )
+
+    # The n BFS waves, in source chunks.
+    src, dst = csr.src, csr.dst
+    src_in = src[csr.in_order]
+    dst_in = dst[csr.in_order]
+    m2 = csr.m2
+    total = sched.total_rounds
+    counts = np.zeros(total + 2, dtype=np.int64)
+    edge_counts = (
+        np.zeros(m2, dtype=np.int64) if sched.edge_bits is not None else None
+    )
+    check_lemma1 = n * m2 <= _LEMMA1_CHECK_LIMIT
+    seen_keys: List[np.ndarray] = []
+    chunk = max(1, _CHUNK_ENTRIES // max(1, m2))
+    for lo in range(0, n, chunk):
+        hi = min(n, lo + chunk)
+        block = distances[lo:hi]
+        d_src = block[:, src].astype(np.int64)
+        d_dst = block[:, dst]
+        mask = d_dst >= block[:, src]
+        rounds = wave_round[lo:hi, None] + d_src + 1
+        hit = rounds[mask]
+        if hit.size:
+            peak = int(hit.max())
+            if peak > total:
+                raise AssertionError(
+                    f"wave delivery in round {peak} past run length {total}"
+                )
+            counts += np.bincount(hit, minlength=total + 2)
+        if edge_counts is not None:
+            edge_counts += mask.sum(axis=0)
+        if check_lemma1 and hit.size:
+            edge_idx = np.broadcast_to(
+                np.arange(m2, dtype=np.int64), mask.shape
+            )[mask]
+            seen_keys.append(edge_idx * (total + 2) + hit)
+        if collect_girth:
+            d_si = block[:, src_in]
+            d_di = block[:, dst_in]
+            same = np.add.reduceat(
+                d_si == d_di, csr.in_indptr[:-1], axis=1
+            )
+            above = np.add.reduceat(
+                d_si == d_di - 1, csr.in_indptr[:-1], axis=1
+            )
+            twice = 2 * block.astype(np.int64)
+            candidate = np.where(above >= 2, twice, _NO_CANDIDATE)
+            candidate = np.minimum(
+                candidate,
+                np.where(same >= 1, twice + 1, _NO_CANDIDATE),
+            )
+            np.minimum(
+                girth_best, candidate.min(axis=0), out=girth_best
+            )
+    if check_lemma1 and seen_keys:
+        keys = np.concatenate(seen_keys)
+        keys.sort()
+        if keys.size > 1 and bool((np.diff(keys) == 0).any()):  # pragma: no cover
+            raise AssertionError(
+                "two BFS waves shared an edge-round (Lemma 1 violation); "
+                "the vector schedule no longer matches the object engine"
+            )
+    witness_edge = int(csr.indptr[tree.root_idx])
+    sched.deliver_bincounts(
+        BfsToken, counts, edge_counts, (witness_edge, t0 + 2)
+    )
+
+    # Wave-token coincidences with the pebble / the finish broadcast —
+    # the only multi-message edge-rounds any schedule here produces.
+    for e, x, y, s in zip(
+        move_edges.tolist(), moves_src.tolist(), moves_dst.tolist(),
+        (moves_stage + 1).tolist(),
+    ):
+        if _token_present(distances, wave_round, x, y, s):
+            sched.coincide(PebbleMsg, e, s)
+    down_rounds = (exhausted + tree.depth[tree.nonroot]).tolist()
+    for e, v, r in zip(
+        tree.down_edges.tolist(), tree.nonroot.tolist(), down_rounds
+    ):
+        if _token_present(
+            distances, wave_round, int(tree.parent[v]), v, r
+        ):
+            sched.coincide(DownMsg, e, r)
+    return finish_round, girth_best
+
+
+def _emit_epilogue(sched: _Schedule, tree: _Tree, start: int,
+                   phases: int) -> int:
+    """``k`` aggregate_and_share phases over ``T_1``; returns exit round."""
+    period = 2 * (tree.ecc + 2)
+    nonroot = tree.nonroot
+    for j in range(phases):
+        converge_start = start + j * period
+        broadcast_start = converge_start + tree.ecc + 2
+        if nonroot.size:
+            sched.deliver(
+                UpMsg,
+                converge_start + tree.height[nonroot] + 1,
+                tree.up_edges,
+            )
+            sched.deliver(
+                DownMsg,
+                broadcast_start + tree.depth[nonroot],
+                tree.down_edges,
+            )
+    return start + phases * period
+
+
+def _wave_parents(csr: _Csr, distances: np.ndarray) -> np.ndarray:
+    """``P[v, u]`` = index of ``u``'s parent in ``T_v`` (``n`` at u=v)."""
+    n = csr.n
+    parents = np.full((n, n), n, dtype=np.int64)
+    if n == 1:
+        return parents
+    src_in = csr.src[csr.in_order]
+    dst_in = csr.dst[csr.in_order]
+    chunk = max(1, _CHUNK_ENTRIES // max(1, csr.m2))
+    for lo in range(0, n, chunk):
+        hi = min(n, lo + chunk)
+        block = distances[lo:hi]
+        candidate = np.where(
+            block[:, src_in] == block[:, dst_in] - 1, src_in, n
+        )
+        parents[lo:hi] = np.minimum.reduceat(
+            candidate, csr.in_indptr[:-1], axis=1
+        )
+    return parents
+
+
+def _emit_ssp_phase(
+    sched: _Schedule, csr: _Csr, source_idx: List[int], t0: int,
+    duration: int,
+):
+    """Round-exact simulation of ``ssp_main_loop`` (dist_id priority).
+
+    Returns ``(delta, parent)`` arrays of shape ``(n, |S|)``; ``parent``
+    uses ``-1`` for "never adopted" and ``-2`` for "self" (None).
+    """
+    n, m2 = csr.n, csr.m2
+    n_sources = len(source_idx)
+    infinite = np.iinfo(np.int64).max // 4
+    delta = np.full((n, n_sources), infinite, dtype=np.int64)
+    parent = np.full((n, n_sources), -1, dtype=np.int64)
+    pending = np.zeros((m2, n_sources), dtype=bool)
+    source_ids = csr.ids[np.asarray(source_idx, dtype=np.int64)] \
+        if n_sources else np.zeros(0, dtype=np.int64)
+    for column, s in enumerate(source_idx):
+        delta[s, column] = 0
+        parent[s, column] = -2
+        pending[csr.indptr[s]:csr.indptr[s + 1], column] = True
+    if n_sources == 0 or m2 == 0:
+        return delta, parent
+    key_stride = int(csr.ids.max()) + 1
+    indptr = csr.indptr
+    arange_cache: Dict[int, np.ndarray] = {}
+    for iteration in range(duration):
+        staged_round = t0 + iteration
+        offering = np.nonzero(pending.any(axis=1))[0]
+        if offering.size == 0:
+            continue
+        live = pending[offering]
+        base = delta[csr.src[offering]]
+        finite = np.where(live, base, 0)
+        keys = np.where(
+            live, (finite + 1) * key_stride + source_ids, np.iinfo(np.int64).max
+        )
+        rows = arange_cache.get(offering.size)
+        if rows is None:
+            rows = np.arange(offering.size)
+            arange_cache[offering.size] = rows
+        best = keys.argmin(axis=1)
+        best_dist = base[rows, best] + 1
+        # Lines 14–17 staged; the whole round's sends leave the queue
+        # before any receipt is processed (the dist_id dequeue rule).
+        pending[offering, best] = False
+        sched.deliver(
+            OfferMsg,
+            np.full(offering.size, staged_round + 1, dtype=np.int64),
+            offering,
+        )
+        # Receipts: per (receiver, source) group, senders in ascending
+        # id order with strict-improvement running semantics.
+        receiver = csr.dst[offering]
+        sender = csr.src[offering]
+        order = np.lexsort((sender, best, receiver))
+        recv_l = receiver[order].tolist()
+        send_l = sender[order].tolist()
+        col_l = best[order].tolist()
+        dist_l = best_dist[order].tolist()
+        i = 0
+        count = len(recv_l)
+        while i < count:
+            y = recv_l[i]
+            column = col_l[i]
+            running = int(delta[y, column])
+            last_event = -1
+            events = 0
+            j = i
+            while j < count and recv_l[j] == y and col_l[j] == column:
+                if dist_l[j] < running:
+                    running = dist_l[j]
+                    last_event = send_l[j]
+                    events += 1
+                j += 1
+            if events:
+                delta[y, column] = running
+                parent[y, column] = last_event
+                lo, hi = int(indptr[y]), int(indptr[y + 1])
+                if events == 1:
+                    # A single improvement re-queues for every neighbor
+                    # but its sender — yet it must not cancel an entry
+                    # the sender edge already held from an earlier
+                    # round (requeueing only ever *adds*).
+                    back = int(csr.edge_of(y, last_event))
+                    back_was = bool(pending[back, column])
+                    pending[lo:hi, column] = True
+                    pending[back, column] = back_was
+                else:
+                    # Two or more improvements re-queue for all edges:
+                    # each event covers every neighbor but its own
+                    # sender, and the senders are distinct.
+                    pending[lo:hi, column] = True
+            i = j
+    return delta, parent
+
+
+# ---------------------------------------------------------------------------
+# Entry points (signatures mirror repro.core).
+# ---------------------------------------------------------------------------
+
+
+def run_bfs(graph: Graph, *, seed: int = 0,
+            bandwidth_bits: Optional[int] = None,
+            policy: str = "strict", faults=None):
+    """Vector twin of :func:`repro.core.run_bfs`."""
+    del seed  # the protocol is deterministic; kept for signature parity
+    _check_supported(policy=policy, faults=faults)
+    validate_apsp_input(graph)
+    csr = _Csr(graph)
+    tree = _Tree(csr, _sssp_depths(csr, csr.root_idx))
+    sched = _Schedule(
+        tree.start_round, csr, SizeModel(csr.n), track_edges=False
+    )
+    _emit_tree_phase(sched, csr, tree)
+    metrics = sched.finalize(bandwidth_bits)
+    ids = csr.ids.tolist()
+    depth_l = tree.depth.tolist()
+    parent_l = tree.parent.tolist()
+    results = {
+        ids[v]: BfsResult(
+            uid=ids[v],
+            depth=depth_l[v],
+            parent=None if parent_l[v] < 0 else ids[parent_l[v]],
+            children=tuple(ids[c] for c in tree.children[v]),
+            ecc_root=tree.ecc,
+        )
+        for v in range(csr.n)
+    }
+    return results, metrics
+
+
+def _apsp_run(graph: Graph, *, collect_girth: bool, track_edges: bool,
+              bandwidth_bits: Optional[int], epilogue_phases: int = 0):
+    """Shared tree + Algorithm 1 (+ optional epilogue) schedule."""
+    csr = _Csr(graph)
+    distances = _all_pairs_distances(csr)
+    tree = _Tree(csr, distances[csr.root_idx].astype(np.int64))
+    t0 = tree.start_round
+    # The run length must be known before any bincount: finish_round
+    # depends only on the pebble tour, so compute it first.
+    _, _, _, _, exhausted = _pebble_schedule(tree, t0)
+    finish_round = exhausted + tree.diameter_bound + 2
+    period = 2 * (tree.ecc + 2)
+    total_rounds = finish_round + epilogue_phases * period
+    sched = _Schedule(total_rounds, csr, SizeModel(csr.n), track_edges)
+    _emit_tree_phase(sched, csr, tree)
+    finish_again, girth_best = _emit_apsp_phase(
+        sched, csr, tree, distances, t0, collect_girth
+    )
+    assert finish_again == finish_round
+    if epilogue_phases:
+        _emit_epilogue(sched, tree, finish_round, epilogue_phases)
+    metrics = sched.finalize(bandwidth_bits)
+    return csr, distances, tree, girth_best, metrics
+
+
+def run_apsp(graph: Graph, *, collect_girth: bool = False, seed: int = 0,
+             bandwidth_bits: Optional[int] = None, policy: str = "strict",
+             track_edges: bool = False, faults=None) -> ApspSummary:
+    """Vector twin of :func:`repro.core.run_apsp`."""
+    del seed
+    _check_supported(policy=policy, faults=faults)
+    validate_apsp_input(graph)
+    csr, distances, _, girth_best, metrics = _apsp_run(
+        graph, collect_girth=collect_girth, track_edges=track_edges,
+        bandwidth_bits=bandwidth_bits,
+    )
+    n = csr.n
+    ids = csr.ids.tolist()
+    parents = _wave_parents(csr, distances)
+    # Map parent indices to ids; u = v slots (sentinel n) become None.
+    parent_ids = np.where(
+        parents < n, csr.ids[np.minimum(parents, n - 1)], -1
+    )
+    parent_cols = np.ascontiguousarray(parent_ids.T)
+    dist_cols = np.ascontiguousarray(distances.T.astype(np.int64))
+    girth_l = girth_best.tolist() if girth_best is not None else None
+    results = {}
+    for u in range(n):
+        uid = ids[u]
+        row_parents = dict(zip(ids, parent_cols[u].tolist()))
+        row_parents[uid] = None
+        candidate = None
+        if girth_l is not None and girth_l[u] != _NO_CANDIDATE:
+            candidate = girth_l[u]
+        results[uid] = ApspResult(
+            uid=uid,
+            distances=dict(zip(ids, dist_cols[u].tolist())),
+            parents=row_parents,
+            girth_candidate=candidate,
+        )
+    return ApspSummary(results=results, metrics=metrics)
+
+
+def run_graph_properties(graph: Graph, *, include_girth: bool = True,
+                         seed: int = 0,
+                         bandwidth_bits: Optional[int] = None,
+                         policy: str = "strict",
+                         track_edges: bool = False,
+                         faults=None) -> PropertySummary:
+    """Vector twin of :func:`repro.core.run_graph_properties`."""
+    del seed
+    _check_supported(policy=policy, faults=faults)
+    validate_apsp_input(graph)
+    phases = 3 if include_girth else 2
+    csr, distances, _, girth_best, metrics = _apsp_run(
+        graph, collect_girth=include_girth, track_edges=track_edges,
+        bandwidth_bits=bandwidth_bits, epilogue_phases=phases,
+    )
+    eccentricities = distances.max(axis=1).astype(np.int64)
+    diameter = int(eccentricities.max())
+    radius = int(eccentricities.min())
+    girth: Optional[float]
+    if not include_girth:
+        girth = None
+    else:
+        best = int(girth_best.min())
+        girth = GIRTH_INFINITE if best == _NO_CANDIDATE else best
+    ids = csr.ids.tolist()
+    ecc_l = eccentricities.tolist()
+    results = {
+        ids[v]: PropertyResult(
+            uid=ids[v],
+            eccentricity=ecc_l[v],
+            diameter=diameter,
+            radius=radius,
+            is_center=(ecc_l[v] == radius),
+            is_peripheral=(ecc_l[v] == diameter),
+            girth=girth,
+        )
+        for v in range(csr.n)
+    }
+    return PropertySummary(results=results, metrics=metrics)
+
+
+def run_exact_girth(graph: Graph, *, seed: int = 0,
+                    bandwidth_bits: Optional[int] = None,
+                    policy: str = "strict", faults=None) -> GirthSummary:
+    """Vector twin of :func:`repro.core.run_exact_girth`."""
+    summary = run_graph_properties(
+        graph, include_girth=True, seed=seed,
+        bandwidth_bits=bandwidth_bits, policy=policy, faults=faults,
+    )
+    results = {
+        uid: GirthEstimate(uid=uid, girth=res.girth, exact=True, phases=0)
+        for uid, res in summary.results.items()
+    }
+    return GirthSummary(results=results, metrics=summary.metrics)
+
+
+def run_ssp(graph: Graph, sources: Iterable[int], *, seed: int = 0,
+            bandwidth_bits: Optional[int] = None, policy: str = "strict",
+            track_edges: bool = False, priority: str = PRIORITY_DIST_ID,
+            faults=None) -> SspSummary:
+    """Vector twin of :func:`repro.core.run_ssp`."""
+    del seed
+    _check_supported(policy=policy, faults=faults, priority=priority)
+    validate_apsp_input(graph)
+    source_set = frozenset(sources)
+    unknown = source_set - set(graph.nodes)
+    if unknown:
+        raise GraphError(f"sources {sorted(unknown)} are not graph nodes")
+    csr = _Csr(graph)
+    tree = _Tree(csr, _sssp_depths(csr, csr.root_idx))
+    t0 = tree.start_round
+    duration = len(source_set) + tree.diameter_bound + 2
+    total_rounds = t0 + duration
+    sched = _Schedule(
+        total_rounds, csr, SizeModel(csr.n), track_edges
+    )
+    _emit_tree_phase(sched, csr, tree)
+    index = {uid: i for i, uid in enumerate(csr.ids.tolist())}
+    source_idx = sorted(index[s] for s in source_set)
+    delta, parent = _emit_ssp_phase(sched, csr, source_idx, t0, duration)
+    metrics = sched.finalize(bandwidth_bits)
+    ids = csr.ids.tolist()
+    source_ids = [ids[s] for s in source_idx]
+    infinite = np.iinfo(np.int64).max // 4
+    results = {}
+    for u in range(csr.n):
+        dist_row = delta[u].tolist()
+        parent_row = parent[u].tolist()
+        distances_u: Dict[int, int] = {}
+        parents_u: Dict[int, Optional[int]] = {}
+        for column, sid in enumerate(source_ids):
+            if dist_row[column] >= infinite:
+                continue
+            distances_u[sid] = dist_row[column]
+            p = parent_row[column]
+            parents_u[sid] = None if p == -2 else ids[p]
+        results[ids[u]] = SspResult(
+            uid=ids[u], distances=distances_u, parents=parents_u,
+        )
+    return SspSummary(
+        sources=source_set, results=results, metrics=metrics,
+    )

@@ -14,6 +14,12 @@ digest of their results and full metrics against goldens recorded from
 the pre-optimization engine (commit ``e7c8943`` and earlier), stored in
 ``golden_equivalence.json``.
 
+The same goldens also gate the numpy vector backend
+(:mod:`repro.vector`): every fault-free case it can run must reproduce
+the object engine's record *byte-identically* — same results digest,
+same rounds/messages/bits, same per-edge audits.  Those tests skip
+cleanly when numpy is not installed.
+
 Regenerating (only legitimate when the *model* changes, e.g. a new
 message type shifts wire sizes — never to paper over an engine change)::
 
@@ -131,6 +137,18 @@ def _case_two_vs_four_d4():
     return _record(summary.results, summary.metrics)
 
 
+def _case_bfs_grid():
+    results, metrics = core.run_bfs(parse_graph("grid:4x5"), seed=0)
+    return _record(results, metrics)
+
+
+def _case_properties_er20():
+    summary = core.run_graph_properties(
+        parse_graph("er:20:p=0.2:seed=5"), seed=0
+    )
+    return _record(summary.results, summary.metrics)
+
+
 def _case_faults_drops():
     outcome = Network(
         parse_graph("er:20:p=0.2:seed=5"),
@@ -162,6 +180,8 @@ CASES = {
     "apsp_girth_seed1": _case_apsp_girth_seed1,
     "apsp_grid_seed3": _case_apsp_grid,
     "baseline_dv_serialize": _case_baseline_serialize,
+    "bfs_grid4x5": _case_bfs_grid,
+    "properties_er20": _case_properties_er20,
     "ssp_er24": _case_ssp,
     "girth_exact_torus4x6": _case_girth_exact,
     "girth_approx_cycle30": _case_girth_approx,
@@ -169,6 +189,81 @@ CASES = {
     "two_vs_four_diam4": _case_two_vs_four_d4,
     "faults_drops_roundlimit": _case_faults_drops,
     "faults_crash_outage": _case_faults_crash_outage,
+}
+
+
+# ---------------------------------------------------------------------------
+# Vector-backend fixtures: the numpy round engine replays every
+# fault-free case it is capable of and must land on the *same* golden
+# record — that is the byte-identity contract the backend ships under.
+# ---------------------------------------------------------------------------
+
+
+def _vector_case_apsp_strict():
+    from repro import vector
+
+    summary = vector.run_apsp(
+        parse_graph("er:20:p=0.2:seed=5"), seed=0, track_edges=True
+    )
+    return _record(summary.results, summary.metrics)
+
+
+def _vector_case_apsp_girth_seed1():
+    from repro import vector
+
+    summary = vector.run_apsp(
+        parse_graph("er:20:p=0.2:seed=5"), seed=1, collect_girth=True
+    )
+    return _record(summary.results, summary.metrics)
+
+
+def _vector_case_apsp_grid():
+    from repro import vector
+
+    summary = vector.run_apsp(parse_graph("grid:4x5"), seed=3)
+    return _record(summary.results, summary.metrics)
+
+
+def _vector_case_bfs_grid():
+    from repro import vector
+
+    results, metrics = vector.run_bfs(parse_graph("grid:4x5"), seed=0)
+    return _record(results, metrics)
+
+
+def _vector_case_properties_er20():
+    from repro import vector
+
+    summary = vector.run_graph_properties(
+        parse_graph("er:20:p=0.2:seed=5"), seed=0
+    )
+    return _record(summary.results, summary.metrics)
+
+
+def _vector_case_ssp():
+    from repro import vector
+
+    summary = vector.run_ssp(
+        parse_graph("er:24:p=0.15:seed=2"), [1, 4, 9], seed=0
+    )
+    return _record(summary.results, summary.metrics)
+
+
+def _vector_case_girth_exact():
+    from repro import vector
+
+    summary = vector.run_exact_girth(parse_graph("torus:4x6"), seed=0)
+    return _record(summary.results, summary.metrics)
+
+
+VECTOR_CASES = {
+    "apsp_strict_tracked": _vector_case_apsp_strict,
+    "apsp_girth_seed1": _vector_case_apsp_girth_seed1,
+    "apsp_grid_seed3": _vector_case_apsp_grid,
+    "bfs_grid4x5": _vector_case_bfs_grid,
+    "properties_er20": _vector_case_properties_er20,
+    "ssp_er24": _vector_case_ssp,
+    "girth_exact_torus4x6": _vector_case_girth_exact,
 }
 
 
@@ -195,8 +290,31 @@ def test_engine_matches_pre_optimization_golden(name):
     )
 
 
+@pytest.mark.parametrize("name", sorted(VECTOR_CASES))
+def test_vector_backend_matches_golden(name):
+    pytest.importorskip("numpy")
+    golden = _goldens()[name]
+    fresh = VECTOR_CASES[name]()
+    assert fresh["metrics"] == golden["metrics"], (
+        f"{name}: vector-backend RunMetrics diverged from the golden"
+    )
+    assert fresh["halted_nodes"] == golden["halted_nodes"], (
+        f"{name}: vector backend produced results for different nodes"
+    )
+    assert fresh["results_sha256"] == golden["results_sha256"], (
+        f"{name}: vector-backend per-node results diverged from the golden"
+    )
+
+
 def test_golden_file_covers_every_case():
     assert sorted(_goldens()) == sorted(CASES)
+
+
+def test_vector_cases_are_a_fault_free_subset():
+    # Every vector fixture replays an existing golden; the fault and
+    # serialize cases stay object-only by design.
+    assert set(VECTOR_CASES) <= set(CASES)
+    assert not any(name.startswith("faults_") for name in VECTOR_CASES)
 
 
 if __name__ == "__main__":

@@ -5,8 +5,9 @@ The registry (:mod:`repro.protocols`) is the single source of truth for
 algorithm dispatch; this tool fails CI when anything drifts away from
 it:
 
-* **entry points** — every ``Protocol.entry_point`` dotted name must
-  resolve to a real callable under ``repro``;
+* **entry points** — every ``Protocol.entry_point`` (and, where
+  declared, ``vector_entry_point``) dotted name must resolve to a real
+  callable under ``repro``;
 * **completeness** — every public ``repro.core.run_*`` entry point must
   be registered (no orphaned algorithms), and registered ``core.*``
   entry points must still exist;
@@ -74,6 +75,21 @@ def check_entry_points(problems: List[str]) -> None:
             problems.append(
                 f"protocol {protocol.name!r}: entry point "
                 f"{protocol.entry_point!r} is not callable"
+            )
+        if protocol.vector_entry_point is None:
+            continue
+        try:
+            target = _resolve(protocol.vector_entry_point)
+        except (ImportError, AttributeError) as exc:
+            problems.append(
+                f"protocol {protocol.name!r}: vector entry point "
+                f"{protocol.vector_entry_point!r} does not resolve ({exc})"
+            )
+            continue
+        if not callable(target):
+            problems.append(
+                f"protocol {protocol.name!r}: vector entry point "
+                f"{protocol.vector_entry_point!r} is not callable"
             )
 
 

@@ -1,0 +1,99 @@
+"""Dev-only cross-backend equivalence sweep (not part of the test suite).
+
+Runs every vector-capable protocol on a battery of small graphs through
+both engines and diffs canonicalized results + full RunMetrics dicts.
+"""
+import dataclasses
+import json
+import sys
+
+sys.path.insert(0, "src")
+
+from repro import core
+from repro import vector
+from repro.graphs.specs import parse_graph
+
+
+def canon(obj):
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return canon(dataclasses.asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): canon(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [canon(x) for x in obj]
+    if isinstance(obj, frozenset):
+        return sorted(obj)
+    if isinstance(obj, float) and obj == float("inf"):
+        return "inf"
+    return obj
+
+
+def diff(name, a, b):
+    ca, cb = json.dumps(canon(a), sort_keys=True), json.dumps(canon(b), sort_keys=True)
+    if ca != cb:
+        print(f"FAIL {name}")
+        # find first divergence point
+        for i, (x, y) in enumerate(zip(ca, cb)):
+            if x != y:
+                print("  obj:", ca[max(0, i - 120):i + 120])
+                print("  vec:", cb[max(0, i - 120):i + 120])
+                break
+        else:
+            print("  length mismatch", len(ca), len(cb))
+        return False
+    print(f"ok   {name}")
+    return True
+
+
+GRAPHS = [
+    "path:1", "path:2", "path:5", "cycle:6", "cycle:7", "star:8",
+    "complete:5", "grid:4x5", "torus:4x6", "tree:2:3",
+    "er:20:p=0.2:seed=5", "er:24:p=0.15:seed=2", "er:32:p=0.15:seed=1",
+    "diameter2:16", "diameter4:16",
+]
+
+ok = True
+for spec in GRAPHS:
+    g = parse_graph(spec)
+    # BFS
+    ro, mo = core.run_bfs(g)
+    rv, mv = vector.run_bfs(g)
+    ok &= diff(f"bfs/{spec} results", ro, rv)
+    ok &= diff(f"bfs/{spec} metrics", mo.to_dict(), mv.to_dict())
+    # APSP plain / girth / tracked
+    for kw in ({}, {"collect_girth": True}, {"track_edges": True},
+               {"collect_girth": True, "track_edges": True}):
+        tag = ",".join(f"{k}" for k in kw) or "plain"
+        so = core.run_apsp(g, **kw)
+        sv = vector.run_apsp(g, **kw)
+        ok &= diff(f"apsp/{spec}/{tag} results", so.results, sv.results)
+        ok &= diff(f"apsp/{spec}/{tag} metrics", so.metrics.to_dict(), sv.metrics.to_dict())
+    # Properties with/without girth
+    for ig in (True, False):
+        so = core.run_graph_properties(g, include_girth=ig)
+        sv = vector.run_graph_properties(g, include_girth=ig)
+        ok &= diff(f"props/{spec}/girth={ig} results", so.results, sv.results)
+        ok &= diff(f"props/{spec}/girth={ig} metrics", so.metrics.to_dict(), sv.metrics.to_dict())
+    # Exact girth
+    so = core.run_exact_girth(g)
+    sv = vector.run_exact_girth(g)
+    ok &= diff(f"girth/{spec} results", so.results, sv.results)
+    ok &= diff(f"girth/{spec} metrics", so.metrics.to_dict(), sv.metrics.to_dict())
+    # SSP with a few source sets
+    nodes = list(g.nodes)
+    source_sets = [[nodes[0]]]
+    if len(nodes) >= 4:
+        source_sets.append([nodes[0], nodes[2], nodes[3]])
+    if len(nodes) >= 9:
+        source_sets.append([nodes[1], nodes[4], nodes[8]])
+    for srcs in source_sets:
+        for kw in ({}, {"track_edges": True}):
+            tag = ",".join(map(str, srcs)) + ("/tracked" if kw else "")
+            so = core.run_ssp(g, srcs, **kw)
+            sv = vector.run_ssp(g, srcs, **kw)
+            ok &= diff(f"ssp/{spec}/{tag} results", so.results, sv.results)
+            ok &= diff(f"ssp/{spec}/{tag} sources", so.sources, sv.sources)
+            ok &= diff(f"ssp/{spec}/{tag} metrics", so.metrics.to_dict(), sv.metrics.to_dict())
+
+print("ALL OK" if ok else "FAILURES", file=sys.stderr)
+sys.exit(0 if ok else 1)
